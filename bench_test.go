@@ -1,0 +1,366 @@
+// Benchmarks regenerating the paper's evaluation (§5), the headline claim and
+// the ablation studies, plus micro-benchmarks of the core building blocks.
+//
+// Each BenchmarkFigure*/BenchmarkHeadline/BenchmarkAblation* iteration runs
+// the corresponding experiment in a reduced "quick" configuration so the
+// whole suite completes in a couple of minutes; the full sweeps (the exact
+// series reported in EXPERIMENTS.md) are produced by `go run ./cmd/skybench
+// -all`.  Virtual-time results are attached to the benchmark output with
+// b.ReportMetric, so the paper-facing quantities (speedups, throughputs,
+// overheads) appear directly in `go test -bench` output.
+package skyloader_test
+
+import (
+	"testing"
+
+	"skyloader/internal/arrayset"
+	"skyloader/internal/catalog"
+	"skyloader/internal/core"
+	"skyloader/internal/des"
+	"skyloader/internal/experiments"
+	"skyloader/internal/htm"
+	"skyloader/internal/metrics"
+	"skyloader/internal/relstore"
+	"skyloader/internal/sqlbatch"
+)
+
+// benchCfg is the reduced configuration used by the experiment benchmarks.
+func benchCfg() experiments.Config {
+	return experiments.Config{Quick: true, RowsPerMB: 40, Seed: 20051112}
+}
+
+// lastOf returns the final value of a numeric table column (0 when absent).
+func lastOf(tbl *metrics.Table, col string) float64 {
+	xs := tbl.Column(col)
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}
+
+func meanOf(tbl *metrics.Table, col string) float64 {
+	return metrics.Summarize(tbl.Column(col)).Mean
+}
+
+// --- Paper evaluation: one benchmark per figure ---------------------------
+
+// BenchmarkFigure4BulkVsNonBulk regenerates Figure 4 (bulk vs. non-bulk
+// loading, single process).  Reported metric: mean bulk speedup (paper: 7-9x).
+func BenchmarkFigure4BulkVsNonBulk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanOf(tbl, "speedup"), "speedup")
+		b.ReportMetric(lastOf(tbl, "bulk_runtime_s"), "bulk_vsec")
+		b.ReportMetric(lastOf(tbl, "nonbulk_runtime_s"), "nonbulk_vsec")
+	}
+}
+
+// BenchmarkFigure5BatchSize regenerates Figure 5 (effect of batch size on a
+// 200 MB load).  Reported metric: runtime at the smallest and largest batch.
+func BenchmarkFigure5BatchSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := tbl.Column("runtime_s")
+		b.ReportMetric(rt[0], "batch10_vsec")
+		b.ReportMetric(rt[len(rt)-1], "batch60_vsec")
+	}
+}
+
+// BenchmarkFigure6ArraySize regenerates Figure 6 (effect of array size).
+// Reported metric: runtime at the smallest, optimal and largest array size.
+func BenchmarkFigure6ArraySize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := tbl.Column("runtime_s")
+		b.ReportMetric(rt[0], "smallest_vsec")
+		b.ReportMetric(rt[metrics.ArgMin(rt)], "best_vsec")
+		b.ReportMetric(rt[len(rt)-1], "largest_vsec")
+	}
+}
+
+// BenchmarkFigure7Parallelism regenerates Figure 7 (effect of parallelism on
+// throughput).  Reported metrics: single-loader and best throughput in
+// nominal MB per virtual second.
+func BenchmarkFigure7Parallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		thr := tbl.Column("throughput_mb_s")
+		b.ReportMetric(thr[0], "single_MBps")
+		b.ReportMetric(thr[metrics.ArgMax(thr)], "peak_MBps")
+	}
+}
+
+// BenchmarkFigure8Indices regenerates Figure 8 (effect of attribute indices).
+// Reported metrics: mean overhead of the single-integer and composite
+// three-float indices (paper: ~1.5% and ~8.5%).
+func BenchmarkFigure8Indices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanOf(tbl, "int_overhead_pct"), "int_ovh_pct")
+		b.ReportMetric(meanOf(tbl, "composite_overhead_pct"), "comp_ovh_pct")
+	}
+}
+
+// BenchmarkFigure9DatabaseSize regenerates Figure 9 (effect of database
+// size).  Reported metric: relative spread of runtimes across 50-300 GB
+// (paper: flat).
+func BenchmarkFigure9DatabaseSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure9(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := metrics.Summarize(tbl.Column("runtime_s"))
+		spread := 0.0
+		if s.Mean > 0 {
+			spread = (s.Max - s.Min) / s.Mean * 100
+		}
+		b.ReportMetric(spread, "spread_pct")
+		b.ReportMetric(s.Mean, "runtime_vsec")
+	}
+}
+
+// BenchmarkHeadline40GB regenerates the headline claim (40 GB night: >20 h
+// with the original pipeline vs <3 h with SkyLoader).  Reported metric: the
+// reduction factor between the two configurations.
+func BenchmarkHeadline40GB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Headline(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hours := tbl.Column("runtime_h_40gb")
+		if len(hours) == 2 && hours[1] > 0 {
+			b.ReportMetric(hours[0]/hours[1], "reduction_x")
+		}
+	}
+}
+
+// --- Ablations -------------------------------------------------------------
+
+// BenchmarkAblationAssignment compares dynamic vs. static file assignment on
+// a skewed night (§4.4).
+func BenchmarkAblationAssignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationAssignment(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall := tbl.Column("wall_time_s")
+		if len(wall) == 2 && wall[0] > 0 {
+			b.ReportMetric(wall[1]/wall[0], "static_penalty_x")
+		}
+	}
+}
+
+// BenchmarkAblationCommitFrequency measures the §4.5.2 commit-frequency
+// trade-off.
+func BenchmarkAblationCommitFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationCommitFrequency(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := tbl.Column("runtime_s")
+		if len(rt) >= 2 && rt[len(rt)-1] > 0 {
+			b.ReportMetric(rt[0]/rt[len(rt)-1], "frequent_commit_penalty_x")
+		}
+	}
+}
+
+// BenchmarkAblationCacheSize measures the §4.5.5 data-cache-size effect.
+func BenchmarkAblationCacheSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationCacheSize(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := tbl.Column("runtime_s")
+		if len(rt) >= 2 && rt[0] > 0 {
+			b.ReportMetric(rt[len(rt)-1]/rt[0], "large_cache_penalty_x")
+		}
+	}
+}
+
+// BenchmarkAblationErrorRate measures the §4.2 worst-case behaviour as the
+// error rate grows.
+func BenchmarkAblationErrorRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationErrorRate(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := tbl.Column("runtime_s")
+		if len(rt) >= 2 && rt[0] > 0 {
+			b.ReportMetric(rt[len(rt)-1]/rt[0], "dirty_penalty_x")
+		}
+	}
+}
+
+// BenchmarkAblationTwoPhase compares single-pass SkyLoader with the
+// SDSS-style two-phase loader (§6).
+func BenchmarkAblationTwoPhase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationTwoPhase(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanOf(tbl, "two_phase_penalty_pct"), "two_phase_penalty_pct")
+	}
+}
+
+// --- Micro-benchmarks of the building blocks -------------------------------
+
+// BenchmarkBTreeInsert measures secondary-index maintenance cost per insert.
+func BenchmarkBTreeInsert(b *testing.B) {
+	bt := relstore.NewBTree(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bt.Insert([]relstore.Value{int64(i * 2654435761 % 1000003)}, int64(i))
+	}
+}
+
+// BenchmarkHTMLookup measures the per-object htmid computation performed
+// during the transform step.
+func BenchmarkHTMLookup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ra := float64(i%3600) / 10
+		dec := float64(i%1700)/10 - 85
+		if _, err := htm.Lookup(ra, dec, htm.DefaultDepth); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCatalogGenerate measures synthetic catalog generation throughput.
+func BenchmarkCatalogGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := catalog.Generate(catalog.GenSpec{SizeMB: 10, Seed: int64(i), ErrorRate: 0.01})
+		if f.DataRows == 0 {
+			b.Fatal("empty file")
+		}
+	}
+}
+
+// BenchmarkCatalogTransform measures parse+transform cost per catalog row.
+func BenchmarkCatalogTransform(b *testing.B) {
+	schema := catalog.NewSchema()
+	tr := catalog.NewTransformer(schema)
+	file := catalog.Generate(catalog.GenSpec{SizeMB: 20, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := file.Records[i%len(file.Records)]
+		if _, err := tr.Transform(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArraySetAdd measures the client-side buffering cost per row.
+func BenchmarkArraySetAdd(b *testing.B) {
+	schema := catalog.NewSchema()
+	set := arrayset.MustNew(schema, arrayset.Config{ArraySize: 1000})
+	cols := []string{"object_id", "frame_id", "ra", "dec", "mag"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		full, _, err := set.Add(catalog.TObjects, cols,
+			[]relstore.Value{int64(i), int64(1), 10.0, 10.0, 18.0}, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if full {
+			set.Drain()
+		}
+	}
+}
+
+// BenchmarkRelstoreInsert measures the engine's raw insert path (constraints,
+// heap, PK hash, WAL, cache) without the simulation layer.
+func BenchmarkRelstoreInsert(b *testing.B) {
+	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	txn, err := db.Begin()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := catalog.SeedReference(txn, 8); err != nil {
+		b.Fatal(err)
+	}
+	cols := []string{"obs_id", "run_id", "telescope_id", "mjd_start", "ra_center", "dec_center", "airmass", "filter_set", "exposure_s"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals := []relstore.Value{int64(i + 10), int64(1), int64(1), 53600.5, 120.0, 10.0, 1.2, "R", 140.0}
+		if _, err := txn.Insert(catalog.TObservations, cols, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoaderEndToEnd measures real (host) time to simulate loading one
+// 10 MB catalog file with the full stack: generator, DES, engine, loader.
+func BenchmarkLoaderEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		kernel := des.NewKernel(int64(i))
+		db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+		txn, _ := db.Begin()
+		if err := catalog.SeedReference(txn, 8); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		server := sqlbatch.NewServer(kernel, db, sqlbatch.DefaultServerConfig(), sqlbatch.DefaultCostModel())
+		file := catalog.Generate(catalog.GenSpec{SizeMB: 10, Seed: int64(i), ErrorRate: 0.01, RunID: 1, IDBase: 1000})
+		var stats core.Stats
+		kernel.Spawn("loader", func(p *des.Proc) {
+			conn := server.Connect(p)
+			defer conn.Close()
+			loader, err := core.NewLoader(conn, core.DefaultConfig())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			stats, err = loader.LoadFiles([]*catalog.File{file})
+			if err != nil {
+				b.Error(err)
+			}
+		})
+		kernel.Run()
+		if stats.RowsLoaded == 0 {
+			b.Fatal("nothing loaded")
+		}
+		b.ReportMetric(stats.Elapsed.Seconds(), "vsec_per_10MB")
+	}
+}
+
+// BenchmarkDESEventThroughput measures raw simulation kernel throughput
+// (events per second of host time).
+func BenchmarkDESEventThroughput(b *testing.B) {
+	kernel := des.NewKernel(1)
+	kernel.Spawn("ticker", func(p *des.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Hold(1)
+		}
+	})
+	b.ResetTimer()
+	kernel.Run()
+}

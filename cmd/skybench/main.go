@@ -1,0 +1,149 @@
+// Command skybench regenerates the SkyLoader paper's evaluation: every
+// figure of §5, the headline 40 GB claim, and the ablation studies described
+// in DESIGN.md.  Results are printed as text tables and optionally written as
+// CSV files.
+//
+// Usage:
+//
+//	skybench -all                # every figure, headline and ablation
+//	skybench -fig 4              # one figure (4..9)
+//	skybench -headline           # the 40 GB headline comparison
+//	skybench -ablation errors    # one ablation (assignment|commit|cache|errors|twophase)
+//	skybench -verify             # end-to-end integrity check of a parallel load
+//	skybench -all -csv out/      # also write one CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"skyloader/internal/experiments"
+	"skyloader/internal/metrics"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run every figure, the headline and every ablation")
+		fig       = flag.Int("fig", 0, "run one figure (4-9)")
+		headline  = flag.Bool("headline", false, "run the 40 GB headline comparison")
+		ablation  = flag.String("ablation", "", "run one ablation: assignment|commit|cache|errors|twophase")
+		verify    = flag.Bool("verify", false, "run the end-to-end integrity verification")
+		quick     = flag.Bool("quick", false, "reduced parameter sweeps")
+		seed      = flag.Int64("seed", 0, "random seed (0 = default)")
+		rowsPerMB = flag.Int("rows-per-mb", 0, "generated rows per nominal catalog MB (0 = default 100)")
+		errRate   = flag.Float64("error-rate", 0, "fraction of corrupted rows (0 = default 0.002)")
+		csvDir    = flag.String("csv", "", "directory to write one CSV file per table")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:      *seed,
+		RowsPerMB: *rowsPerMB,
+		ErrorRate: *errRate,
+		Quick:     *quick,
+	}
+
+	if *verify {
+		if err := experiments.Verify(cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Println("verification passed: parallel load is referentially consistent")
+		return
+	}
+
+	var tables []*metrics.Table
+	run := func(name string, fn func(experiments.Config) (*metrics.Table, error)) {
+		start := time.Now()
+		tbl, err := fn(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		tbl.Notes = append(tbl.Notes, fmt.Sprintf("harness wall time: %s", time.Since(start).Round(time.Millisecond)))
+		tables = append(tables, tbl)
+	}
+
+	switch {
+	case *all:
+		start := time.Now()
+		ts, err := experiments.RunAll(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		tables = ts
+		fmt.Fprintf(os.Stderr, "ran %d experiments in %s\n", len(ts), time.Since(start).Round(time.Millisecond))
+	case *fig != 0:
+		figs := map[int]func(experiments.Config) (*metrics.Table, error){
+			4: experiments.Figure4, 5: experiments.Figure5, 6: experiments.Figure6,
+			7: experiments.Figure7, 8: experiments.Figure8, 9: experiments.Figure9,
+		}
+		fn, ok := figs[*fig]
+		if !ok {
+			fatal(fmt.Errorf("unknown figure %d (want 4-9)", *fig))
+		}
+		run(fmt.Sprintf("figure%d", *fig), fn)
+	case *headline:
+		run("headline", experiments.Headline)
+	case *ablation != "":
+		abls := map[string]func(experiments.Config) (*metrics.Table, error){
+			"assignment": experiments.AblationAssignment,
+			"commit":     experiments.AblationCommitFrequency,
+			"cache":      experiments.AblationCacheSize,
+			"errors":     experiments.AblationErrorRate,
+			"twophase":   experiments.AblationTwoPhase,
+		}
+		fn, ok := abls[strings.ToLower(*ablation)]
+		if !ok {
+			fatal(fmt.Errorf("unknown ablation %q", *ablation))
+		}
+		run("ablation-"+*ablation, fn)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, tbl := range tables {
+		fmt.Println()
+		if err := tbl.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, tbl := range tables {
+			name := sanitize(tbl.Title) + ".csv"
+			f, err := os.Create(filepath.Join(*csvDir, name))
+			if err != nil {
+				fatal(err)
+			}
+			if err := tbl.CSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(tables), *csvDir)
+	}
+}
+
+func sanitize(title string) string {
+	title = strings.ToLower(title)
+	if i := strings.Index(title, ":"); i > 0 {
+		title = title[:i]
+	}
+	title = strings.ReplaceAll(title, " ", "_")
+	return title
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skybench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command skygen generates synthetic Palomar-Quest catalog files: either a
+// single file of a given nominal size or a whole observation (28 files of
+// varying size), in the tagged interleaved ASCII format the SkyLoader
+// pipeline consumes.
+//
+// Usage:
+//
+//	skygen -size 200 -out catalog.cat               # one 200 MB file
+//	skygen -night 1500 -outdir night01/             # one observation, 28 files
+//	skygen -size 50 -error-rate 0.05 -out dirty.cat # with corrupted rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"skyloader/internal/catalog"
+)
+
+func main() {
+	var (
+		size      = flag.Float64("size", 0, "generate one file of this nominal size in MB")
+		night     = flag.Float64("night", 0, "generate a full observation of this total nominal size in MB")
+		files     = flag.Int("files", catalog.FilesPerObservation, "number of files for -night")
+		rowsPerMB = flag.Int("rows-per-mb", 100, "generated rows per nominal MB")
+		seed      = flag.Int64("seed", 1, "random seed")
+		errRate   = flag.Float64("error-rate", 0, "fraction of detail rows corrupted")
+		unsorted  = flag.Bool("unsorted", false, "emit child rows before parents (defeats presorting)")
+		out       = flag.String("out", "", "output file for -size (default stdout)")
+		outDir    = flag.String("outdir", ".", "output directory for -night")
+		runID     = flag.Int64("run", 1, "observing run id recorded in the observation header")
+	)
+	flag.Parse()
+
+	switch {
+	case *size > 0 && *night > 0:
+		fatal(fmt.Errorf("use either -size or -night, not both"))
+	case *size > 0:
+		f := catalog.Generate(catalog.GenSpec{
+			SizeMB:    *size,
+			RowsPerMB: *rowsPerMB,
+			Seed:      *seed,
+			ErrorRate: *errRate,
+			RunID:     *runID,
+			Unsorted:  *unsorted,
+			IDBase:    10_000_000,
+		})
+		w := os.Stdout
+		if *out != "" {
+			file, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer file.Close()
+			w = file
+		}
+		if _, err := f.WriteTo(w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "generated %s: %d rows, %d injected errors, %.1f nominal MB\n",
+			f.Name, f.DataRows, f.TotalInjectedErrors(), f.Spec.SizeMB)
+	case *night > 0:
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		nightFiles := catalog.GenerateNight(catalog.NightSpec{
+			TotalMB:   *night,
+			RowsPerMB: *rowsPerMB,
+			Seed:      *seed,
+			ErrorRate: *errRate,
+			RunID:     *runID,
+			Files:     *files,
+		})
+		var rows int
+		for _, f := range nightFiles {
+			path := filepath.Join(*outDir, f.Name)
+			file, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := f.WriteTo(file); err != nil {
+				file.Close()
+				fatal(err)
+			}
+			if err := file.Close(); err != nil {
+				fatal(err)
+			}
+			rows += f.DataRows
+		}
+		fmt.Fprintf(os.Stderr, "generated %d files (%d rows, %.1f nominal MB) in %s\n",
+			len(nightFiles), rows, *night, *outDir)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skygen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,248 @@
+// Command skyload loads catalog files into a simulated Palomar-Quest
+// repository with the SkyLoader framework and reports loading statistics:
+// rows loaded per table, rows skipped and why, database calls, commits, and
+// the virtual loading time the same run would have taken on the paper's
+// hardware.
+//
+// Usage:
+//
+//	skyload night01/*.cat                      # parallel bulk load (defaults)
+//	skyload -loaders 1 -batch 40 file.cat      # single-process bulk load
+//	skyload -nonbulk file.cat                  # row-at-a-time baseline
+//	skyload -profile untuned night01/*.cat     # eager indices, frequent commits
+//	skyload -config campaign.json night01/*.cat # JSON campaign configuration
+//	skyload -size 200                          # no files: generate 200 MB in memory
+//
+// When -config is given the campaign file (see internal/loadconfig) supplies
+// the loader tunables, parallelism and database tuning, and the individual
+// -loaders/-batch/-array/-commit-every/-profile/-static flags are ignored.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/core"
+	"skyloader/internal/des"
+	"skyloader/internal/loadconfig"
+	"skyloader/internal/parallel"
+	"skyloader/internal/relstore"
+	"skyloader/internal/sqlbatch"
+	"skyloader/internal/tuning"
+)
+
+func main() {
+	var (
+		loaders    = flag.Int("loaders", 5, "number of concurrent loader processes")
+		batch      = flag.Int("batch", 40, "rows per database call (batch-size)")
+		array      = flag.Int("array", 1000, "rows per buffer array (array-size)")
+		commit     = flag.Int("commit-every", 0, "commit every N batches (0 = end of each file)")
+		nonBulk    = flag.Bool("nonbulk", false, "use the row-at-a-time baseline loader")
+		static     = flag.Bool("static", false, "use static file assignment instead of dynamic")
+		profile    = flag.String("profile", "production", "tuning profile: production|untuned|query")
+		configPath = flag.String("config", "", "JSON campaign configuration file (overrides the tuning flags)")
+		size       = flag.Float64("size", 0, "generate one file of this nominal MB instead of reading files")
+		rowsPerMB  = flag.Int("rows-per-mb", 100, "generated rows per nominal MB (for -size and provenance)")
+		errRate    = flag.Float64("error-rate", 0.002, "error rate for generated input")
+		seed       = flag.Int64("seed", 1, "random seed")
+		provenance = flag.Bool("provenance", false, "record load_runs/load_errors provenance rows")
+		verbose    = flag.Bool("v", false, "print per-table row counts and skipped-row details")
+	)
+	flag.Parse()
+
+	// Resolve the campaign settings: either a JSON configuration file or the
+	// individual flags plus a named tuning profile.
+	var (
+		dbCfg       relstore.Config
+		srvCfg      sqlbatch.ServerConfig
+		indexPolicy tuning.IndexPolicy
+		loaderCfg   core.Config
+		clusterCfg  parallel.Config
+	)
+	if *configPath != "" {
+		campaign, err := loadconfig.Load(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		dbCfg = campaign.DBConfig()
+		srvCfg = campaign.ServerConfig()
+		indexPolicy = campaign.IndexPolicyValue()
+		loaderCfg = campaign.LoaderConfig()
+		loaderCfg.RecordProvenance = loaderCfg.RecordProvenance || *provenance
+		clusterCfg = campaign.ClusterConfig()
+		clusterCfg.Loader = loaderCfg
+		if campaign.Seed != 0 {
+			*seed = campaign.Seed
+		}
+		if campaign.RowsPerMB > 0 {
+			*rowsPerMB = campaign.RowsPerMB
+		}
+	} else {
+		prof, err := profileByName(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		dbCfg = prof.DBConfig()
+		srvCfg = prof.ServerConfig()
+		indexPolicy = prof.Indexes
+		loaderCfg = core.Config{
+			BatchSize:          *batch,
+			ArraySize:          *array,
+			CommitEveryBatches: *commit,
+			RecordProvenance:   *provenance,
+			ChargeStaging:      true,
+		}
+		if loaderCfg.CommitEveryBatches == 0 {
+			loaderCfg.CommitEveryBatches = prof.CommitEveryBatches
+		}
+		assignment := parallel.Dynamic
+		if *static {
+			assignment = parallel.Static
+		}
+		clusterCfg = parallel.Config{
+			Loaders:    *loaders,
+			Assignment: assignment,
+			Loader:     loaderCfg,
+		}
+	}
+	clusterCfg.NonBulk = *nonBulk
+
+	// Assemble the input files: either read from disk or generate in memory.
+	var files []*catalog.File
+	if *size > 0 {
+		files = append(files, catalog.Generate(catalog.GenSpec{
+			SizeMB: *size, RowsPerMB: *rowsPerMB, Seed: *seed, ErrorRate: *errRate,
+			RunID: 1, IDBase: 10_000_000,
+		}))
+	}
+	for i, path := range flag.Args() {
+		f, err := readCatalogFile(path, int64(i+1))
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Build the simulated environment.
+	kernel := des.NewKernel(*seed)
+	db, err := relstore.NewDB(catalog.NewSchema(), dbCfg)
+	if err != nil {
+		fatal(err)
+	}
+	txn, err := db.Begin()
+	if err != nil {
+		fatal(err)
+	}
+	if err := catalog.SeedReference(txn, 32); err != nil {
+		fatal(err)
+	}
+	if _, err := txn.Commit(); err != nil {
+		fatal(err)
+	}
+	if err := tuning.ApplyIndexPolicy(db, indexPolicy); err != nil {
+		fatal(err)
+	}
+	server := sqlbatch.NewServer(kernel, db, srvCfg, sqlbatch.DefaultCostModel())
+
+	res, err := parallel.Run(server, files, clusterCfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	report(res, db, *verbose)
+}
+
+func profileByName(name string) (tuning.Profile, error) {
+	switch name {
+	case "production", "prod":
+		return tuning.ProductionLoading(), nil
+	case "untuned":
+		return tuning.Untuned(), nil
+	case "query", "query-serving":
+		return tuning.QueryServing(), nil
+	default:
+		return tuning.Profile{}, fmt.Errorf("unknown profile %q (want production|untuned|query)", name)
+	}
+}
+
+func readCatalogFile(path string, idx int64) (*catalog.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, parseErrs := catalog.ReadRecords(f)
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	for _, pe := range parseErrs {
+		fmt.Fprintf(os.Stderr, "skyload: %s: %v\n", path, pe)
+	}
+	return &catalog.File{
+		Name:         path,
+		Records:      recs,
+		NominalBytes: info.Size(),
+		ActualBytes:  info.Size(),
+		DataRows:     len(recs),
+		Spec:         catalog.GenSpec{Name: path, SizeMB: float64(info.Size()) / 1e6, IDBase: idx * 100_000_000},
+	}, nil
+}
+
+func report(res parallel.Result, db *relstore.DB, verbose bool) {
+	t := res.Total
+	fmt.Printf("files loaded:        %d\n", t.Files)
+	fmt.Printf("rows read:           %d\n", t.RowsRead)
+	fmt.Printf("rows loaded:         %d\n", t.RowsLoaded)
+	fmt.Printf("rows skipped (db):   %d\n", t.RowsSkipped)
+	fmt.Printf("rows rejected (client): %d\n", t.ParseErrors)
+	fmt.Printf("database calls:      %d\n", t.DBCalls)
+	fmt.Printf("commits:             %d\n", t.Commits)
+	fmt.Printf("lock waits / stalls: %d / %d\n", t.LockWaits, t.LongStalls)
+	fmt.Printf("virtual load time:   %s\n", res.WallTime)
+	fmt.Printf("throughput:          %.3f MB/s (nominal)\n", res.ThroughputMBps)
+
+	if verbose {
+		fmt.Println("\nrows loaded by table:")
+		tables := make([]string, 0, len(t.RowsLoadedByTable))
+		for name := range t.RowsLoadedByTable {
+			tables = append(tables, name)
+		}
+		sort.Strings(tables)
+		for _, name := range tables {
+			fmt.Printf("  %-22s %8d\n", name, t.RowsLoadedByTable[name])
+		}
+		if len(t.Skipped) > 0 {
+			fmt.Println("\nskipped rows:")
+			max := len(t.Skipped)
+			if max > 20 {
+				max = 20
+			}
+			for _, s := range t.Skipped[:max] {
+				fmt.Printf("  %s line %d (%s): %s\n", s.File, s.SourceLine, s.Table, s.Reason)
+			}
+			if len(t.Skipped) > max {
+				fmt.Printf("  ... and %d more\n", len(t.Skipped)-max)
+			}
+		}
+	}
+
+	orphans, _ := db.VerifyIntegrity()
+	if orphans != 0 {
+		fmt.Printf("\nWARNING: %d orphaned rows detected after load\n", orphans)
+		os.Exit(1)
+	}
+	fmt.Println("referential integrity: OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "skyload:", err)
+	os.Exit(1)
+}

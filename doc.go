@@ -1,0 +1,27 @@
+// Package skyloader is a reproduction of "Optimized Data Loading for a
+// Multi-Terabyte Sky Survey Repository" (Y. Dora Cai, Ruth Aydt, Robert J.
+// Brunner, Supercomputing 2005): the SkyLoader framework for parallel bulk
+// loading of the Palomar-Quest sky-survey catalog into a multi-table
+// relational repository.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core       — the bulk_loading / batch_row algorithm (Figure 3)
+//   - internal/arrayset   — the array-set buffering structure (§4.3)
+//   - internal/parallel   — the cluster coordinator with dynamic assignment (§4.4)
+//   - internal/tuning     — the §4.5 database and system tuning profiles
+//   - internal/relstore   — the embedded relational engine standing in for Oracle 10g
+//   - internal/sqlbatch   — the JDBC-like batch client/server with the calibrated cost model
+//   - internal/catalog    — the Palomar-Quest data model, file format, parser and generator
+//   - internal/htm        — Hierarchical Triangular Mesh ids for object positions
+//   - internal/des        — the deterministic discrete-event simulation kernel
+//   - internal/experiments — regeneration of every figure of §5 plus ablations
+//
+// The benchmarks in bench_test.go regenerate the paper's evaluation; the
+// binaries under cmd/ (skygen, skyload, skybench) expose the same
+// functionality on the command line, and examples/ contains runnable
+// walk-throughs.  See README.md, DESIGN.md and EXPERIMENTS.md.
+package skyloader
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"

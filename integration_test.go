@@ -1,0 +1,216 @@
+// End-to-end integration tests exercising the whole pipeline the way the
+// command-line tools do: generate catalog files, serialize them to disk, read
+// them back, load them in parallel into a freshly seeded repository, and
+// validate the result with queries and integrity checks.
+package skyloader_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/core"
+	"skyloader/internal/des"
+	"skyloader/internal/experiments"
+	"skyloader/internal/htm"
+	"skyloader/internal/loadconfig"
+	"skyloader/internal/parallel"
+	"skyloader/internal/relstore"
+	"skyloader/internal/sqlbatch"
+	"skyloader/internal/tuning"
+)
+
+// newRepo builds a seeded repository and its simulated server.
+func newRepo(t *testing.T, seed int64, policy tuning.IndexPolicy) *sqlbatch.Server {
+	t.Helper()
+	kernel := des.NewKernel(seed)
+	db, err := relstore.NewDB(catalog.NewSchema(), relstore.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := catalog.SeedReference(txn, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tuning.ApplyIndexPolicy(db, policy); err != nil {
+		t.Fatal(err)
+	}
+	return sqlbatch.NewServer(kernel, db, sqlbatch.DefaultServerConfig(), sqlbatch.DefaultCostModel())
+}
+
+// TestEndToEndThroughFiles writes generated catalog files to disk, reads them
+// back (as cmd/skyload does), loads them with three parallel loaders, and
+// checks row counts, integrity and query results.
+func TestEndToEndThroughFiles(t *testing.T) {
+	dir := t.TempDir()
+	night := catalog.GenerateNight(catalog.NightSpec{
+		TotalMB: 30, RowsPerMB: 60, Seed: 41, ErrorRate: 0.01, RunID: 1, Files: 6,
+	})
+
+	// Serialize and re-read every file.
+	var files []*catalog.File
+	wantRows := 0
+	for _, f := range night {
+		path := filepath.Join(dir, f.Name)
+		out, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteTo(out); err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		in, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, parseErrs := catalog.ReadRecords(in)
+		in.Close()
+		if len(parseErrs) != 0 {
+			t.Fatalf("%s: parse errors: %v", path, parseErrs)
+		}
+		if len(recs) != f.DataRows {
+			t.Fatalf("%s: %d records after round trip, want %d", path, len(recs), f.DataRows)
+		}
+		wantRows += len(recs)
+		files = append(files, &catalog.File{
+			Name:         path,
+			Records:      recs,
+			NominalBytes: f.NominalBytes,
+			DataRows:     len(recs),
+		})
+	}
+
+	srv := newRepo(t, 41, tuning.HTMIDOnly)
+	res, err := parallel.Run(srv, files, parallel.Config{
+		Loaders:    3,
+		Assignment: parallel.Dynamic,
+		Loader:     core.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.RowsRead != wantRows {
+		t.Fatalf("rows read = %d, want %d", res.Total.RowsRead, wantRows)
+	}
+	if res.Total.RowsLoaded+res.Total.RowsSkipped+res.Total.ParseErrors != wantRows {
+		t.Fatalf("row accounting: %+v", res.Total)
+	}
+
+	db := srv.DB()
+	if orphans, _ := db.VerifyIntegrity(); orphans != 0 {
+		t.Fatalf("orphans: %d", orphans)
+	}
+	if err := db.VerifyPrimaryKeys(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The htmid index kept during loading answers a positional query.
+	ts := db.Schema().Table(catalog.TObjects)
+	idx := ts.ColumnIndex("htmid")
+	var someHTMID relstore.Value
+	_ = db.Scan(catalog.TObjects, func(r relstore.Row) bool {
+		someHTMID = r[idx]
+		return false
+	})
+	if someHTMID == nil {
+		t.Fatal("no object carries an htmid")
+	}
+	if _, err := htm.Name(someHTMID.(int64)); err != nil {
+		t.Fatalf("stored htmid invalid: %v", err)
+	}
+	rows, _, err := db.SelectEqualIndexed(catalog.TObjects, tuning.HTMIDIndexName, []relstore.Value{someHTMID})
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("indexed lookup failed: %d rows, err=%v", len(rows), err)
+	}
+}
+
+// TestEndToEndCampaignConfig drives the same pipeline through a JSON campaign
+// configuration, as `skyload -config` does.
+func TestEndToEndCampaignConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.json")
+	doc := `{
+		"batch_size": 25,
+		"array_size": 500,
+		"loaders": 2,
+		"assignment": "static",
+		"index_policy": "none",
+		"record_provenance": true
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := loadconfig.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := newRepo(t, 7, campaign.IndexPolicyValue())
+	files := []*catalog.File{
+		catalog.Generate(catalog.GenSpec{SizeMB: 5, RowsPerMB: 60, Seed: 70, RunID: 1, IDBase: 1_000_000, ErrorRate: 0.02}),
+		catalog.Generate(catalog.GenSpec{SizeMB: 5, RowsPerMB: 60, Seed: 71, RunID: 1, IDBase: 2_000_000}),
+	}
+	res, err := parallel.Run(srv, files, campaign.ClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.RowsLoaded == 0 {
+		t.Fatal("campaign load produced nothing")
+	}
+	// Provenance was requested through the config file.
+	if n, _ := srv.DB().Count(catalog.TLoadRuns); n != 2 {
+		t.Fatalf("load_runs = %d, want one per file", n)
+	}
+	if res.Total.RowsSkipped > 0 {
+		if n, _ := srv.DB().Count(catalog.TLoadErrors); int(n) != res.Total.RowsSkipped {
+			t.Fatalf("load_errors = %d, want %d", n, res.Total.RowsSkipped)
+		}
+	}
+	if orphans, _ := srv.DB().VerifyIntegrity(); orphans != 0 {
+		t.Fatalf("orphans: %d", orphans)
+	}
+}
+
+// TestExperimentsVerify runs the harness's own end-to-end verification, the
+// same check exposed as `skybench -verify`.
+func TestExperimentsVerify(t *testing.T) {
+	if err := experiments.Verify(experiments.Config{Quick: true, RowsPerMB: 30, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicReplay loads the same night twice with the same seeds and
+// expects identical virtual timings and row counts — the property that makes
+// every experiment in EXPERIMENTS.md reproducible.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (int, int64, int64) {
+		srv := newRepo(t, 99, tuning.NoIndexes)
+		files := catalog.GenerateNight(catalog.NightSpec{
+			TotalMB: 20, RowsPerMB: 60, Seed: 99, ErrorRate: 0.01, RunID: 1, Files: 5,
+		})
+		res, err := parallel.Run(srv, files, parallel.Config{
+			Loaders: 3, Assignment: parallel.Dynamic, Loader: core.DefaultConfig(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, _ := srv.DB().Count(catalog.TObjects)
+		return res.Total.RowsLoaded, int64(res.WallTime), rows
+	}
+	l1, w1, o1 := run()
+	l2, w2, o2 := run()
+	if l1 != l2 || w1 != w2 || o1 != o2 {
+		t.Fatalf("replay diverged: (%d,%d,%d) vs (%d,%d,%d)", l1, w1, o1, l2, w2, o2)
+	}
+}

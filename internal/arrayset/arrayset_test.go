@@ -1,0 +1,217 @@
+package arrayset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/relstore"
+)
+
+func newSet(t *testing.T, cfg Config) *ArraySet {
+	t.Helper()
+	s, err := New(catalog.NewSchema(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func objRow(id int64) ([]string, []relstore.Value) {
+	return []string{"object_id", "frame_id", "ra", "dec", "mag"},
+		[]relstore.Value{id, int64(1), 10.0, 10.0, 18.0}
+}
+
+func TestAddCreatesArraysOnDemand(t *testing.T) {
+	s := newSet(t, Config{ArraySize: 10})
+	cols, vals := objRow(1)
+	full, created, err := s.Add(catalog.TObjects, cols, vals, 1)
+	if err != nil || full || !created {
+		t.Fatalf("first add: full=%v created=%v err=%v", full, created, err)
+	}
+	_, created, _ = s.Add(catalog.TObjects, cols, vals, 2)
+	if created {
+		t.Fatal("second add should reuse the array")
+	}
+	if s.NumArrays() != 1 || s.Len() != 2 || s.ArraysCreated() != 1 {
+		t.Fatalf("NumArrays=%d Len=%d Created=%d", s.NumArrays(), s.Len(), s.ArraysCreated())
+	}
+	arr := s.Array(catalog.TObjects)
+	if arr == nil || arr.Len() != 2 || arr.Bytes() == 0 {
+		t.Fatalf("array state: %+v", arr)
+	}
+	if arr.SourceLines[1] != 2 {
+		t.Fatalf("source lines not tracked: %v", arr.SourceLines)
+	}
+}
+
+func TestAddUnknownTable(t *testing.T) {
+	s := newSet(t, Config{ArraySize: 10})
+	if _, _, err := s.Add("not_a_table", []string{"x"}, []relstore.Value{int64(1)}, 1); err == nil {
+		t.Fatal("unknown table should error")
+	}
+}
+
+func TestFullThreshold(t *testing.T) {
+	s := newSet(t, Config{ArraySize: 3})
+	cols, vals := objRow(1)
+	for i := 0; i < 2; i++ {
+		full, _, _ := s.Add(catalog.TObjects, cols, vals, i)
+		if full {
+			t.Fatalf("full reported at %d rows", i+1)
+		}
+	}
+	full, _, _ := s.Add(catalog.TObjects, cols, vals, 3)
+	if !full {
+		t.Fatal("full not reported at threshold")
+	}
+}
+
+func TestPerTableSizeOverride(t *testing.T) {
+	s := newSet(t, Config{ArraySize: 100, PerTableSize: map[string]int{catalog.TObjects: 2}})
+	cols, vals := objRow(1)
+	s.Add(catalog.TObjects, cols, vals, 1)
+	full, _, _ := s.Add(catalog.TObjects, cols, vals, 2)
+	if !full {
+		t.Fatal("per-table override not applied")
+	}
+	// Other tables still use the default.
+	fcols := []string{"frame_id", "ccd_col_id", "frame_number", "mjd_start", "exposure_s"}
+	fvals := []relstore.Value{int64(1), int64(1), int64(0), 53000.0, 145.0}
+	full, _, _ = s.Add(catalog.TCCDFrames, fcols, fvals, 3)
+	if full {
+		t.Fatal("default-size table reported full too early")
+	}
+}
+
+func TestMemoryHighWaterMark(t *testing.T) {
+	s := newSet(t, Config{ArraySize: 1_000_000, MemoryHighWaterBytes: 400, RowOverheadBytes: 100})
+	cols, vals := objRow(1)
+	var full bool
+	n := 0
+	for !full && n < 100 {
+		full, _, _ = s.Add(catalog.TObjects, cols, vals, n)
+		n++
+	}
+	if !full {
+		t.Fatal("memory high-water mark never triggered")
+	}
+	if n > 5 {
+		t.Fatalf("triggered after %d rows, expected a handful", n)
+	}
+	if s.MemoryBytes() < 400 {
+		t.Fatalf("MemoryBytes = %d", s.MemoryBytes())
+	}
+}
+
+func TestFlushOrderParentsFirst(t *testing.T) {
+	s := newSet(t, Config{ArraySize: 100})
+	// Add children before parents to prove the order comes from the schema,
+	// not from insertion order.
+	fngCols := []string{"finger_id", "object_id", "finger_number", "flux"}
+	fngVals := []relstore.Value{int64(1), int64(1), int64(1), 10.0}
+	s.Add(catalog.TObjectFingers, fngCols, fngVals, 1)
+	cols, vals := objRow(1)
+	s.Add(catalog.TObjects, cols, vals, 2)
+	frmCols := []string{"frame_id", "ccd_col_id", "frame_number", "mjd_start", "exposure_s"}
+	frmVals := []relstore.Value{int64(1), int64(1), int64(0), 53000.0, 145.0}
+	s.Add(catalog.TCCDFrames, frmCols, frmVals, 3)
+
+	order := s.FlushOrder()
+	pos := map[string]int{}
+	for i, t := range order {
+		pos[t] = i
+	}
+	if !(pos[catalog.TCCDFrames] < pos[catalog.TObjects] && pos[catalog.TObjects] < pos[catalog.TObjectFingers]) {
+		t.Fatalf("flush order %v violates parent-before-child", order)
+	}
+}
+
+func TestDrainResetsAndCounts(t *testing.T) {
+	s := newSet(t, Config{ArraySize: 10})
+	cols, vals := objRow(1)
+	s.Add(catalog.TObjects, cols, vals, 1)
+	s.Add(catalog.TObjects, cols, vals, 2)
+	arrays := s.Drain()
+	if len(arrays) != 1 || arrays[0].Len() != 2 {
+		t.Fatalf("drained %d arrays", len(arrays))
+	}
+	if s.Len() != 0 || s.NumArrays() != 0 || s.MemoryBytes() != 0 {
+		t.Fatal("set not reset after drain")
+	}
+	if s.CyclesFlushed() != 1 {
+		t.Fatalf("CyclesFlushed = %d", s.CyclesFlushed())
+	}
+	// Empty arrays are not returned.
+	if got := s.Drain(); len(got) != 0 {
+		t.Fatalf("drain of empty set returned %d arrays", len(got))
+	}
+	if s.ArraysCreated() != 1 {
+		t.Fatalf("ArraysCreated = %d (should persist across cycles)", s.ArraysCreated())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(catalog.NewSchema(), Config{ArraySize: 0}); err == nil {
+		t.Fatal("zero array size should be rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on bad config")
+		}
+	}()
+	MustNew(catalog.NewSchema(), Config{ArraySize: -1})
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.ArraySize != 1000 {
+		t.Fatalf("default array size = %d, want the paper's 1000", cfg.ArraySize)
+	}
+}
+
+// TestFlushOrderIsTopologicalProperty adds rows for random subsets of tables
+// and checks the flush order always respects every foreign-key edge.
+func TestFlushOrderIsTopologicalProperty(t *testing.T) {
+	schema := catalog.NewSchema()
+	tables := schema.TableNames()
+	f := func(seed int64, picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		if len(picks) > 60 {
+			picks = picks[:60]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		s := MustNew(schema, Config{ArraySize: 1_000_000})
+		for _, p := range picks {
+			table := tables[int(p)%len(tables)]
+			ts := schema.Table(table)
+			cols := ts.ColumnNames()
+			vals := make([]relstore.Value, len(cols))
+			for i := range vals {
+				vals[i] = rng.Int63()
+			}
+			if _, _, err := s.Add(table, cols, vals, 0); err != nil {
+				return false
+			}
+		}
+		order := s.FlushOrder()
+		pos := map[string]int{}
+		for i, name := range order {
+			pos[name] = i
+		}
+		for _, name := range order {
+			for _, parent := range schema.Parents(name) {
+				if pp, ok := pos[parent]; ok && pp >= pos[name] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,437 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"skyloader/internal/relstore"
+)
+
+func TestSchemaHas23Tables(t *testing.T) {
+	s := NewSchema()
+	if s.NumTables() != 23 {
+		t.Fatalf("schema has %d tables, want 23 (as in Figure 1)", s.NumTables())
+	}
+	if len(CatalogTables())+len(ReferenceTables()) != 23 {
+		t.Fatalf("catalog (%d) + reference (%d) tables != 23", len(CatalogTables()), len(ReferenceTables()))
+	}
+	for _, name := range append(CatalogTables(), ReferenceTables()...) {
+		if s.Table(name) == nil {
+			t.Errorf("table %q missing from schema", name)
+		}
+	}
+}
+
+func TestSchemaTopologicalOrderRespectsHierarchy(t *testing.T) {
+	s := NewSchema()
+	order, err := s.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	chains := [][2]string{
+		{TObservations, TCCDColumns},
+		{TCCDColumns, TCCDFrames},
+		{TCCDFrames, TObjects},
+		{TObjects, TObjectFingers},
+		{TObjects, TObjectShapes},
+		{TCCDFrames, TFrameApertures},
+		{TTelescopes, TObservations},
+		{TQualityFlags, TObjectFlags},
+	}
+	for _, c := range chains {
+		if pos[c[0]] >= pos[c[1]] {
+			t.Errorf("%s should precede %s in load order", c[0], c[1])
+		}
+	}
+}
+
+func TestSeedReference(t *testing.T) {
+	db := relstore.MustNewDB(NewSchema(), relstore.Config{})
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SeedReference(txn, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	counts := db.RowCounts()
+	if counts[TCCDs] != NumCCDsPerInstrument {
+		t.Fatalf("ccds = %d, want %d", counts[TCCDs], NumCCDsPerInstrument)
+	}
+	if counts[TFilters] != int64(len(FilterNames)) {
+		t.Fatalf("filters = %d", counts[TFilters])
+	}
+	if counts[TObservingRuns] != 10 {
+		t.Fatalf("runs = %d", counts[TObservingRuns])
+	}
+	if counts[TQualityFlags] != int64(len(QualityFlagNames)) {
+		t.Fatalf("quality flags = %d", counts[TQualityFlags])
+	}
+	if orphans, _ := db.VerifyIntegrity(); orphans != 0 {
+		t.Fatalf("reference data has %d orphans", orphans)
+	}
+	// Default run count applies when numRuns <= 0.
+	db2 := relstore.MustNewDB(NewSchema(), relstore.Config{})
+	txn2, _ := db2.Begin()
+	if err := SeedReference(txn2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db2.Count(TObservingRuns); n != 16 {
+		t.Fatalf("default runs = %d, want 16", n)
+	}
+}
+
+func TestTagLayoutsMatchSchema(t *testing.T) {
+	s := NewSchema()
+	for _, l := range Layouts {
+		ts := s.Table(l.Table)
+		if ts == nil {
+			t.Errorf("tag %s references unknown table %q", l.Tag, l.Table)
+			continue
+		}
+		for _, f := range l.Fields {
+			if !ts.HasColumn(f) {
+				t.Errorf("tag %s field %q is not a column of %q", l.Tag, f, l.Table)
+			}
+		}
+	}
+	if _, ok := LayoutFor(Tag("XXX")); ok {
+		t.Error("unknown tag should not resolve")
+	}
+	if table, ok := TableForTag(TagOBJ); !ok || table != TObjects {
+		t.Errorf("TableForTag(OBJ) = %q", table)
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	rec := Record{Tag: TagFNG, Fields: []string{"1", "2", "3", "4.5", "0.1", "2.0"}}
+	parsed, err := ParseLine(rec.Format(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Tag != TagFNG || parsed.Line != 7 || len(parsed.Fields) != 6 {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+	if _, err := ParseLine("", 1); err != ErrSkipLine {
+		t.Fatalf("blank line: %v", err)
+	}
+	if _, err := ParseLine("# comment", 1); err != ErrSkipLine {
+		t.Fatalf("comment line: %v", err)
+	}
+	if _, err := ParseLine("ZZZ|1|2", 3); err == nil {
+		t.Fatal("unknown tag should fail")
+	} else if pe, ok := err.(*ParseError); !ok || pe.Line != 3 {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+	if _, err := ParseLine("OBJ|1|2", 4); err == nil {
+		t.Fatal("wrong field count should fail")
+	}
+}
+
+// TestRecordFormatParseRoundTrip checks Format/ParseLine are inverses for
+// arbitrary printable field content without the separator.
+func TestRecordFormatParseRoundTrip(t *testing.T) {
+	f := func(a, b uint32, s string) bool {
+		s = strings.Map(func(r rune) rune {
+			if r == '|' || r == '\n' || r == '\r' {
+				return '_'
+			}
+			return r
+		}, s)
+		rec := Record{Tag: TagPRM, Fields: []string{i2s(int64(a)), i2s(int64(b)), "name", s}}
+		parsed, err := ParseLine(rec.Format(), 1)
+		if err != nil {
+			return false
+		}
+		if parsed.Tag != rec.Tag || len(parsed.Fields) != len(rec.Fields) {
+			return false
+		}
+		for i := range rec.Fields {
+			if parsed.Fields[i] != rec.Fields[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{SizeMB: 5, Seed: 42, ErrorRate: 0.05}
+	a := Generate(spec)
+	b := Generate(spec)
+	if a.DataRows != b.DataRows || len(a.Records) != len(b.Records) {
+		t.Fatalf("same seed produced different row counts: %d vs %d", a.DataRows, b.DataRows)
+	}
+	for i := range a.Records {
+		if a.Records[i].Format() != b.Records[i].Format() {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+	c := Generate(GenSpec{SizeMB: 5, Seed: 43, ErrorRate: 0.05})
+	if c.Records[0].Format() == a.Records[0].Format() {
+		t.Error("different seeds should produce different data")
+	}
+}
+
+func TestGenerateSizeScaling(t *testing.T) {
+	small := Generate(GenSpec{SizeMB: 5, Seed: 1})
+	large := Generate(GenSpec{SizeMB: 50, Seed: 1})
+	if small.DataRows < 500 || large.DataRows < 5000 {
+		t.Fatalf("row counts: small=%d large=%d", small.DataRows, large.DataRows)
+	}
+	// Each frame block adds ~100 rows, so small files overshoot their target
+	// slightly; the ratio is close to, but not exactly, 10x.
+	ratio := float64(large.DataRows) / float64(small.DataRows)
+	if ratio < 7.5 || ratio > 12 {
+		t.Fatalf("10x size produced %.1fx rows", ratio)
+	}
+	if large.NominalBytes != 50_000_000 {
+		t.Fatalf("NominalBytes = %d", large.NominalBytes)
+	}
+	custom := Generate(GenSpec{SizeMB: 2, Seed: 1, RowsPerMB: 500})
+	if custom.DataRows < 900 {
+		t.Fatalf("RowsPerMB override ignored: %d rows", custom.DataRows)
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	f := Generate(GenSpec{SizeMB: 5, Seed: 7})
+	if f.RowsByTable[TObservations] != 1 {
+		t.Fatalf("observations = %d, want 1", f.RowsByTable[TObservations])
+	}
+	if f.RowsByTable[TCCDColumns] != 4 {
+		t.Fatalf("ccd_columns = %d, want 4", f.RowsByTable[TCCDColumns])
+	}
+	frames := f.RowsByTable[TCCDFrames]
+	if frames == 0 {
+		t.Fatal("no frames generated")
+	}
+	if f.RowsByTable[TFrameApertures] != 4*frames {
+		t.Fatalf("apertures = %d, want 4x frames (%d)", f.RowsByTable[TFrameApertures], frames)
+	}
+	objects := f.RowsByTable[TObjects]
+	if f.RowsByTable[TObjectFingers] != 4*objects {
+		t.Fatalf("fingers = %d, want 4x objects (%d)", f.RowsByTable[TObjectFingers], objects)
+	}
+	if f.TotalInjectedErrors() != 0 {
+		t.Fatal("error-free spec injected errors")
+	}
+	// The first record must be the observation header (presorted output).
+	if f.Records[0].Tag != TagOBS {
+		t.Fatalf("first record tag = %s", f.Records[0].Tag)
+	}
+}
+
+func TestGenerateErrorInjection(t *testing.T) {
+	f := Generate(GenSpec{SizeMB: 10, Seed: 11, ErrorRate: 0.10})
+	total := f.TotalInjectedErrors()
+	if total == 0 {
+		t.Fatal("no errors injected at 10% rate")
+	}
+	frac := float64(total) / float64(f.DataRows)
+	if frac < 0.05 || frac > 0.15 {
+		t.Fatalf("injected fraction = %.3f, want ~0.10", frac)
+	}
+	kinds := 0
+	for _, n := range f.ErrorsInjected {
+		if n > 0 {
+			kinds++
+		}
+	}
+	if kinds < 3 {
+		t.Fatalf("only %d error kinds injected", kinds)
+	}
+}
+
+func TestGenerateUnsorted(t *testing.T) {
+	f := Generate(GenSpec{SizeMB: 2, Seed: 5, Unsorted: true})
+	// In unsorted mode some child rows (e.g. OBJ) must appear before their
+	// parent FRM row.
+	firstFRM, firstOBJ := -1, -1
+	for i, r := range f.Records {
+		if r.Tag == TagFRM && firstFRM < 0 {
+			firstFRM = i
+		}
+		if r.Tag == TagOBJ && firstOBJ < 0 {
+			firstOBJ = i
+		}
+	}
+	if firstFRM < firstOBJ {
+		t.Fatal("unsorted mode still emitted the frame before its objects")
+	}
+}
+
+func TestWriteToAndReadRecords(t *testing.T) {
+	f := Generate(GenSpec{SizeMB: 3, Seed: 9, ErrorRate: 0.02})
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	recs, errs := ReadRecords(&buf)
+	if len(errs) != 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	if len(recs) != len(f.Records) {
+		t.Fatalf("read %d records, want %d", len(recs), len(f.Records))
+	}
+	for i := range recs {
+		if recs[i].Format() != f.Records[i].Format() {
+			t.Fatalf("record %d mismatch after round trip", i)
+		}
+	}
+	// Malformed lines are reported but do not abort.
+	recs2, errs2 := ReadRecords(strings.NewReader("OBS|1\nFNG|1|2|3|4|5|6\n"))
+	if len(recs2) != 1 || len(errs2) != 1 {
+		t.Fatalf("partial parse: %d records, %d errors", len(recs2), len(errs2))
+	}
+}
+
+func TestGenerateNight(t *testing.T) {
+	files := GenerateNight(NightSpec{TotalMB: 140, Seed: 3, RowsPerMB: 50, RunID: 1})
+	if len(files) != FilesPerObservation {
+		t.Fatalf("files = %d, want %d", len(files), FilesPerObservation)
+	}
+	var total float64
+	min, max := files[0].Spec.SizeMB, files[0].Spec.SizeMB
+	ids := map[int64]bool{}
+	for _, f := range files {
+		total += f.Spec.SizeMB
+		if f.Spec.SizeMB < min {
+			min = f.Spec.SizeMB
+		}
+		if f.Spec.SizeMB > max {
+			max = f.Spec.SizeMB
+		}
+		if ids[f.Spec.IDBase] {
+			t.Fatal("duplicate IDBase across files")
+		}
+		ids[f.Spec.IDBase] = true
+	}
+	if total < 139 || total > 141 {
+		t.Fatalf("total night size = %.1f MB, want ~140", total)
+	}
+	if max/min < 1.2 {
+		t.Fatalf("file sizes do not vary: min=%.1f max=%.1f", min, max)
+	}
+	few := GenerateNight(NightSpec{TotalMB: 10, Seed: 3, Files: 4})
+	if len(few) != 4 {
+		t.Fatalf("override file count = %d", len(few))
+	}
+}
+
+func TestTransformBasicTags(t *testing.T) {
+	s := NewSchema()
+	tr := NewTransformer(s)
+	rec := Record{Tag: TagFNG, Fields: []string{"10", "20", "1", "100.5", "0.1", "3.0"}, Line: 12}
+	row, err := tr.Transform(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Table != TObjectFingers || len(row.Columns) != 6 || len(row.Values) != 6 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.Values[0].(int64) != 10 || row.Values[3].(float64) != 100.5 {
+		t.Fatalf("values = %v", row.Values)
+	}
+	if row.Bytes != rec.Bytes() {
+		t.Fatalf("Bytes = %d, want %d", row.Bytes, rec.Bytes())
+	}
+}
+
+func TestTransformNullAndPrecision(t *testing.T) {
+	s := NewSchema()
+	tr := NewTransformer(s)
+	// seeing_arcsec has precision 2; empty sky_level becomes NULL.
+	rec := Record{Tag: TagFRM, Fields: []string{"1", "2", "0", "53600.123456789", "145.00", "1.23456", "", "23.5"}}
+	row, err := tr.Transform(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeing := row.Values[5].(float64)
+	if seeing != 1.23 {
+		t.Fatalf("precision not applied: %v", seeing)
+	}
+	if row.Values[6] != nil {
+		t.Fatalf("empty field should be NULL, got %v", row.Values[6])
+	}
+}
+
+func TestTransformObjectDerivedColumns(t *testing.T) {
+	s := NewSchema()
+	tr := NewTransformer(s)
+	rec := Record{Tag: TagOBJ, Fields: []string{"1", "2", "187.25", "2.05", "18.2", "0.02", "1.5", "0.1", "3"}}
+	row, err := tr.Transform(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Columns) != 13 {
+		t.Fatalf("object columns = %d, want 13 (9 raw + htmid/cx/cy/cz)", len(row.Columns))
+	}
+	htmid, ok := row.Values[9].(int64)
+	if !ok || htmid < 8 {
+		t.Fatalf("htmid = %v", row.Values[9])
+	}
+	cx := row.Values[10].(float64)
+	cy := row.Values[11].(float64)
+	cz := row.Values[12].(float64)
+	norm := cx*cx + cy*cy + cz*cz
+	if norm < 0.999 || norm > 1.001 {
+		t.Fatalf("unit vector norm^2 = %v", norm)
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	s := NewSchema()
+	tr := NewTransformer(s)
+	cases := []Record{
+		{Tag: Tag("XXX"), Fields: []string{"1"}},
+		{Tag: TagFNG, Fields: []string{"1", "2"}},                                   // wrong arity
+		{Tag: TagFNG, Fields: []string{"1", "2", "1", "N/A", "0.1", "3.0"}},         // malformed float
+		{Tag: TagOBJ, Fields: []string{"x", "2", "10", "10", "18", "", "", "", ""}}, // malformed int
+		{Tag: TagOBJ, Fields: []string{"1", "2", "", "2.05", "18", "", "", "", ""}}, // missing ra
+		{Tag: TagOBJ, Fields: []string{"1", "2", "10", "", "18", "", "", "", ""}},   // missing dec
+	}
+	for i, rec := range cases {
+		if _, err := tr.Transform(rec); err == nil {
+			t.Errorf("case %d: expected transform error", i)
+		}
+	}
+	// Out-of-range coordinates survive the transform (the database check
+	// constraint rejects them later) but produce a NULL htmid.
+	row, err := tr.Transform(Record{Tag: TagOBJ, Fields: []string{"1", "2", "10", "123.0", "18", "", "", "", ""}})
+	if err != nil {
+		t.Fatalf("out-of-range dec should not fail the transform: %v", err)
+	}
+	if row.Values[9] != nil {
+		t.Fatalf("htmid for invalid position = %v, want NULL", row.Values[9])
+	}
+}
+
+// TestGeneratedFilesTransformCleanly checks that every record of an
+// error-free generated file transforms without client-side errors.
+func TestGeneratedFilesTransformCleanly(t *testing.T) {
+	s := NewSchema()
+	tr := NewTransformer(s)
+	f := Generate(GenSpec{SizeMB: 5, Seed: 21})
+	for _, rec := range f.Records {
+		if _, err := tr.Transform(rec); err != nil {
+			t.Fatalf("record %q failed: %v", rec.Format(), err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package catalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"skyloader/internal/htm"
+	"skyloader/internal/relstore"
+)
+
+// TransformError reports a row that could not be converted into database
+// values (malformed numerics, impossible coordinates).  The loader skips such
+// rows on the client side, mirroring the validation step of §3.
+type TransformError struct {
+	Line   int
+	Tag    Tag
+	Field  string
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *TransformError) Error() string {
+	return fmt.Sprintf("catalog: line %d (%s) field %q: %s", e.Line, e.Tag, e.Field, e.Reason)
+}
+
+// Transformer converts parsed catalog records into (table, columns, values)
+// triples ready for insertion, applying the per-row work the paper describes:
+// type conversion, precision adjustment, and computation of derived values
+// such as the HTM id and unit-sphere coordinates of each object.
+type Transformer struct {
+	schema *relstore.Schema
+	// HTMDepth is the mesh depth used for object htmids.
+	HTMDepth int
+
+	objColumns []string
+}
+
+// NewTransformer creates a transformer for the given repository schema.
+func NewTransformer(schema *relstore.Schema) *Transformer {
+	t := &Transformer{schema: schema, HTMDepth: htm.DefaultDepth}
+	layout, _ := LayoutFor(TagOBJ)
+	t.objColumns = append(append([]string{}, layout.Fields...), "htmid", "cx", "cy", "cz")
+	return t
+}
+
+// TransformedRow is the output of transforming one catalog record.
+type TransformedRow struct {
+	Table   string
+	Columns []string
+	Values  []relstore.Value
+	// Bytes is the serialized size of the source record, used for
+	// throughput accounting.
+	Bytes int
+}
+
+// Transform converts a record into a database row.
+func (t *Transformer) Transform(rec Record) (TransformedRow, error) {
+	layout, ok := LayoutFor(rec.Tag)
+	if !ok {
+		return TransformedRow{}, &TransformError{Line: rec.Line, Tag: rec.Tag, Reason: "unknown tag"}
+	}
+	ts := t.schema.Table(layout.Table)
+	if ts == nil {
+		return TransformedRow{}, &TransformError{Line: rec.Line, Tag: rec.Tag,
+			Reason: fmt.Sprintf("schema has no table %q", layout.Table)}
+	}
+	if len(rec.Fields) != len(layout.Fields) {
+		return TransformedRow{}, &TransformError{Line: rec.Line, Tag: rec.Tag,
+			Reason: fmt.Sprintf("expected %d fields, got %d", len(layout.Fields), len(rec.Fields))}
+	}
+
+	values := make([]relstore.Value, len(layout.Fields))
+	for i, colName := range layout.Fields {
+		v, err := t.convertField(ts, colName, rec.Fields[i])
+		if err != nil {
+			return TransformedRow{}, &TransformError{Line: rec.Line, Tag: rec.Tag, Field: colName, Reason: err.Error()}
+		}
+		values[i] = v
+	}
+
+	row := TransformedRow{
+		Table:   layout.Table,
+		Columns: layout.Fields,
+		Values:  values,
+		Bytes:   rec.Bytes(),
+	}
+
+	if rec.Tag == TagOBJ {
+		derived, err := t.deriveObjectColumns(rec, layout, values)
+		if err != nil {
+			return TransformedRow{}, err
+		}
+		row.Columns = t.objColumns
+		row.Values = append(values, derived...)
+	}
+	return row, nil
+}
+
+// convertField converts one raw field to the typed value of the destination
+// column, applying precision rounding for floats.  Empty fields become NULL.
+func (t *Transformer) convertField(ts *relstore.TableSchema, colName, raw string) (relstore.Value, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return nil, nil
+	}
+	idx := ts.ColumnIndex(colName)
+	if idx < 0 {
+		return nil, fmt.Errorf("table %q has no column %q", ts.Name, colName)
+	}
+	col := ts.Columns[idx]
+	switch col.Type {
+	case relstore.TypeInt:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("not an integer: %q", raw)
+		}
+		return n, nil
+	case relstore.TypeFloat:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("not a float: %q", raw)
+		}
+		if col.Precision > 0 {
+			f = relstore.RoundTo(f, col.Precision)
+		}
+		return f, nil
+	case relstore.TypeBool:
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return nil, fmt.Errorf("not a boolean: %q", raw)
+		}
+		return b, nil
+	default:
+		return raw, nil
+	}
+}
+
+// deriveObjectColumns computes the htmid and unit-sphere coordinates for an
+// OBJ record from its ra/dec fields.
+func (t *Transformer) deriveObjectColumns(rec Record, layout TagLayout, values []relstore.Value) ([]relstore.Value, error) {
+	raIdx, decIdx := -1, -1
+	for i, f := range layout.Fields {
+		switch f {
+		case "ra":
+			raIdx = i
+		case "dec":
+			decIdx = i
+		}
+	}
+	raV, decV := values[raIdx], values[decIdx]
+	ra, okRA := raV.(float64)
+	dec, okDec := decV.(float64)
+	if !okRA || !okDec {
+		return nil, &TransformError{Line: rec.Line, Tag: rec.Tag, Field: "ra/dec",
+			Reason: "object position missing, cannot compute htmid"}
+	}
+	// Positions outside the celestial sphere cannot be assigned an HTM id;
+	// the row is kept (the database check constraint rejects it) with a NULL
+	// htmid so the error surfaces through the normal recovery path.
+	var htmVal relstore.Value
+	if ra >= 0 && ra <= 360 && dec >= -90 && dec <= 90 {
+		if id, err := htm.Lookup(ra, dec, t.HTMDepth); err == nil {
+			htmVal = id
+		}
+	}
+	vec := htm.FromRaDec(ra, dec)
+	return []relstore.Value{htmVal,
+		relstore.RoundTo(vec.X, 8), relstore.RoundTo(vec.Y, 8), relstore.RoundTo(vec.Z, 8)}, nil
+}
+
+// ObjectColumns returns the full column list used for object inserts
+// (raw fields plus derived htmid/cx/cy/cz).
+func (t *Transformer) ObjectColumns() []string { return t.objColumns }

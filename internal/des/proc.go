@@ -1,0 +1,140 @@
+package des
+
+import (
+	"time"
+)
+
+// Proc is a simulation process.  A Proc is created by Kernel.Spawn and its
+// body runs in its own goroutine, but the kernel guarantees that only one
+// process runs at a time, so process bodies may manipulate shared simulation
+// state without locks.
+//
+// All Proc methods must be called from within the process body itself.
+type Proc struct {
+	k    *Kernel
+	id   int
+	name string
+
+	resume chan struct{}
+
+	started    bool
+	finished   bool
+	waiting    bool
+	startedAt  time.Duration
+	finishedAt time.Duration
+
+	// waitTotal accumulates virtual time spent waiting on resources.
+	waitTotal time.Duration
+	// holdTotal accumulates virtual time spent in explicit Hold calls.
+	holdTotal time.Duration
+
+	err error
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's unique id (1-based, in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// Err returns the panic error, if any, captured when the process body
+// terminated abnormally.
+func (p *Proc) Err() error { return p.err }
+
+// Finished reports whether the process body has returned.
+func (p *Proc) Finished() bool { return p.finished }
+
+// StartedAt returns the virtual time at which the process body began running.
+func (p *Proc) StartedAt() time.Duration { return p.startedAt }
+
+// FinishedAt returns the virtual time at which the process body returned.
+// It is meaningful only once Finished reports true.
+func (p *Proc) FinishedAt() time.Duration { return p.finishedAt }
+
+// WaitTime returns the total virtual time this process spent blocked on
+// resources.
+func (p *Proc) WaitTime() time.Duration { return p.waitTotal }
+
+// HoldTime returns the total virtual time this process spent in Hold calls.
+func (p *Proc) HoldTime() time.Duration { return p.holdTotal }
+
+// park yields control to the kernel and blocks until the kernel resumes this
+// process.
+func (p *Proc) park() {
+	p.waiting = true
+	p.k.parked <- struct{}{}
+	<-p.resume
+	p.waiting = false
+}
+
+// Hold advances this process's virtual time by d: the process sleeps for d
+// while other processes and events run.  Negative durations are treated as
+// zero; a zero duration still yields to events scheduled at the same instant.
+func (p *Proc) Hold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.holdTotal += d
+	p.k.Schedule(d, func() { p.k.resumeProc(p) })
+	p.park()
+}
+
+// Yield gives other runnable processes and events scheduled at the current
+// instant a chance to run, without advancing virtual time.
+func (p *Proc) Yield() { p.Hold(0) }
+
+// Signal is a simple one-shot wait/notify primitive between processes on the
+// same kernel.
+type Signal struct {
+	k       *Kernel
+	fired   bool
+	waiters []*Proc
+	firedAt time.Duration
+	payload any
+}
+
+// NewSignal creates a signal bound to kernel k.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Wait blocks the calling process until the signal fires.  If the signal has
+// already fired, Wait returns immediately.  It returns the payload passed to
+// Fire.
+func (s *Signal) Wait(p *Proc) any {
+	if s.fired {
+		return s.payload
+	}
+	s.waiters = append(s.waiters, p)
+	start := p.k.now
+	p.park()
+	p.waitTotal += p.k.now - start
+	return s.payload
+}
+
+// Fire marks the signal as fired with the given payload and wakes all waiting
+// processes at the current virtual time.  Firing an already-fired signal is a
+// no-op.
+func (s *Signal) Fire(payload any) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	s.firedAt = s.k.now
+	s.payload = payload
+	for _, w := range s.waiters {
+		w := w
+		s.k.Schedule(0, func() { s.k.resumeProc(w) })
+	}
+	s.waiters = nil
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// FiredAt returns the virtual time at which the signal fired.
+func (s *Signal) FiredAt() time.Duration { return s.firedAt }

@@ -1,0 +1,152 @@
+package loadconfig
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/parallel"
+	"skyloader/internal/tuning"
+)
+
+func TestDefaultIsValid(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default configuration invalid: %v", err)
+	}
+	if cfg.BatchSize != 40 || cfg.ArraySize != 1000 || cfg.Loaders != 5 {
+		t.Fatalf("defaults do not match the paper's production settings: %+v", cfg)
+	}
+	if cfg.IndexPolicyValue() != tuning.HTMIDOnly {
+		t.Fatalf("default index policy = %v", cfg.IndexPolicyValue())
+	}
+}
+
+func TestParseOverridesAndDefaults(t *testing.T) {
+	doc := `{
+		"batch_size": 50,
+		"per_table_array_size": {"objects": 2000, "object_fingers": 4000},
+		"loaders": 7,
+		"assignment": "static",
+		"index_policy": "htmid+composite",
+		"cache_pages": 4096
+	}`
+	cfg, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BatchSize != 50 || cfg.ArraySize != 1000 {
+		t.Fatalf("override/default mix wrong: %+v", cfg)
+	}
+	if cfg.PerTableArraySize[catalog.TObjects] != 2000 {
+		t.Fatalf("per-table sizes missing: %+v", cfg.PerTableArraySize)
+	}
+	if cfg.Loaders != 7 {
+		t.Fatalf("loaders = %d", cfg.Loaders)
+	}
+	cc := cfg.ClusterConfig()
+	if cc.Assignment != parallel.Static || cc.Loaders != 7 {
+		t.Fatalf("cluster config: %+v", cc)
+	}
+	lc := cfg.LoaderConfig()
+	if lc.BatchSize != 50 || lc.PerTableArraySize[catalog.TObjectFingers] != 4000 || !lc.ChargeStaging {
+		t.Fatalf("loader config: %+v", lc)
+	}
+	if cfg.IndexPolicyValue() != tuning.HTMIDPlusComposite {
+		t.Fatalf("index policy = %v", cfg.IndexPolicyValue())
+	}
+	if cfg.DBConfig().CachePages != 4096 {
+		t.Fatalf("db config cache = %d", cfg.DBConfig().CachePages)
+	}
+	if !cfg.ServerConfig().SeparateRAID {
+		t.Fatal("default RAID separation lost")
+	}
+}
+
+func TestParseRejectsUnknownFieldsAndBadValues(t *testing.T) {
+	cases := []string{
+		`{"no_such_field": 1}`,
+		`{"batch_size": 0}`,
+		`{"batch_size": -3}`,
+		`{"array_size": 0}`,
+		`{"batch_size": 5000, "array_size": 1000}`,
+		`{"loaders": 0}`,
+		`{"assignment": "round-robin"}`,
+		`{"index_policy": "everything"}`,
+		`{"per_table_array_size": {"objects": -1}}`,
+		`{"commit_every_batches": -1}`,
+		`{"cache_pages": -5}`,
+		`not json at all`,
+	}
+	for i, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d (%s): expected an error", i, doc)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig := Default()
+	orig.BatchSize = 45
+	orig.Loaders = 6
+	orig.PerTableArraySize = map[string]int{catalog.TObjects: 1500}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.BatchSize != 45 || back.Loaders != 6 || back.PerTableArraySize[catalog.TObjects] != 1500 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestLoadFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.json")
+	doc := `{"batch_size": 30, "loaders": 3, "separate_raid": false}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BatchSize != 30 || cfg.Loaders != 3 {
+		t.Fatalf("loaded config: %+v", cfg)
+	}
+	if cfg.ServerConfig().SeparateRAID {
+		t.Fatal("separate_raid=false not honoured")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestAssignmentAndPolicyAliases(t *testing.T) {
+	aliases := map[string]tuning.IndexPolicy{
+		"none": tuning.NoIndexes, "no-indexes": tuning.NoIndexes,
+		"htmid": tuning.HTMIDOnly, "htmid-only": tuning.HTMIDOnly, "int": tuning.HTMIDOnly,
+		"htmid+composite": tuning.HTMIDPlusComposite, "all": tuning.HTMIDPlusComposite,
+	}
+	for alias, want := range aliases {
+		cfg := Default()
+		cfg.IndexPolicy = alias
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("alias %q rejected: %v", alias, err)
+		}
+		if got := cfg.IndexPolicyValue(); got != want {
+			t.Errorf("alias %q -> %v, want %v", alias, got, want)
+		}
+	}
+	cfg := Default()
+	cfg.Assignment = "DYNAMIC"
+	if cc := cfg.ClusterConfig(); cc.Assignment != parallel.Dynamic {
+		t.Fatal("case-insensitive assignment broken")
+	}
+}

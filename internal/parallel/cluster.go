@@ -1,0 +1,213 @@
+// Package parallel implements the cluster loading coordinator of §4.4: a set
+// of loader processes on separate cluster nodes feeding one database server,
+// with catalog files handed out either dynamically ("on the fly", as soon as
+// a node finishes a file it takes the next unloaded one) or statically
+// (pre-partitioned).  Dynamic assignment is the paper's choice because the 28
+// files of an observation vary in size and error density.
+package parallel
+
+import (
+	"fmt"
+	"time"
+
+	"skyloader/internal/baseline"
+	"skyloader/internal/catalog"
+	"skyloader/internal/core"
+	"skyloader/internal/des"
+	"skyloader/internal/sqlbatch"
+)
+
+// Assignment selects how catalog files are distributed to loader nodes.
+type Assignment int
+
+const (
+	// Dynamic hands each node the next unloaded file as soon as it becomes
+	// idle (the paper's load-balancing strategy).
+	Dynamic Assignment = iota
+	// Static divides the files evenly among the nodes up front.
+	Static
+)
+
+// String names the assignment policy.
+func (a Assignment) String() string {
+	if a == Dynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// Config controls a cluster load.
+type Config struct {
+	// Loaders is the number of concurrent loader processes (degree of
+	// parallelism).
+	Loaders int
+	// Assignment is the file-distribution policy.
+	Assignment Assignment
+	// Loader is the per-node SkyLoader configuration.
+	Loader core.Config
+	// NonBulk switches every node to the singleton-insert baseline loader
+	// (used by the headline experiment's "original pipeline" configuration).
+	NonBulk bool
+	// StartStagger spaces out node start times (Condor dispatch latency).
+	StartStagger time.Duration
+}
+
+// NodeResult reports one loader node's outcome.
+type NodeResult struct {
+	Node       int
+	FilesDone  []string
+	Stats      core.Stats
+	StartedAt  time.Duration
+	FinishedAt time.Duration
+	Err        error
+}
+
+// Result reports a whole cluster load.
+type Result struct {
+	Nodes []NodeResult
+	// Total aggregates all node statistics.
+	Total core.Stats
+	// WallTime is the makespan: from the first node starting to the last
+	// node finishing, in virtual time.
+	WallTime time.Duration
+	// ThroughputMBps is nominal megabytes loaded per virtual second of
+	// makespan.
+	ThroughputMBps float64
+	// Server is the database server's counter snapshot after the run.
+	Server sqlbatch.ServerStats
+}
+
+// Run performs a cluster load of files against server using cfg.Loaders
+// concurrent loader processes, driving the server's simulation kernel until
+// every node finishes.  It must be called before the kernel has been run for
+// other purposes in the same virtual-time window.
+func Run(server *sqlbatch.Server, files []*catalog.File, cfg Config) (Result, error) {
+	if cfg.Loaders <= 0 {
+		cfg.Loaders = 1
+	}
+	if len(files) == 0 {
+		return Result{}, fmt.Errorf("parallel: no files to load")
+	}
+	k := server.Kernel()
+
+	// Work queue shared by all nodes.  Only one DES process runs at a time,
+	// so plain variables are safe.
+	queue := append([]*catalog.File{}, files...)
+	next := 0
+	takeDynamic := func() *catalog.File {
+		if next >= len(queue) {
+			return nil
+		}
+		f := queue[next]
+		next++
+		return f
+	}
+
+	// Static pre-partition: files are dealt round-robin, which is how an
+	// even split is usually done when sizes are unknown.
+	static := make([][]*catalog.File, cfg.Loaders)
+	if cfg.Assignment == Static {
+		for i, f := range queue {
+			static[i%cfg.Loaders] = append(static[i%cfg.Loaders], f)
+		}
+	}
+
+	results := make([]NodeResult, cfg.Loaders)
+	for n := 0; n < cfg.Loaders; n++ {
+		n := n
+		start := time.Duration(n) * cfg.StartStagger
+		k.SpawnAt(start, fmt.Sprintf("loader-%02d", n+1), func(p *des.Proc) {
+			res := &results[n]
+			res.Node = n + 1
+			res.StartedAt = p.Now()
+			conn := server.Connect(p)
+			defer func() {
+				_ = conn.Close()
+				res.FinishedAt = p.Now()
+			}()
+
+			loaderCfg := cfg.Loader
+			loaderCfg.LoaderNode = n + 1
+
+			loadOne := func(f *catalog.File) error {
+				if cfg.NonBulk {
+					nb := baseline.NewNonBulkLoader(conn, baseline.NonBulkConfig{
+						// Map the bulk commit policy onto a per-row policy so
+						// the "original pipeline" commits frequently when the
+						// bulk config would have committed per batch.
+						CommitEveryRows: cfg.Loader.CommitEveryBatches * maxInt(cfg.Loader.BatchSize, 1),
+						ChargeStaging:   cfg.Loader.ChargeStaging,
+						LoaderNode:      loaderCfg.LoaderNode,
+					})
+					if err := nb.LoadFile(f); err != nil {
+						return err
+					}
+					res.Stats.Merge(nb.Stats())
+					return nil
+				}
+				ld, err := core.NewLoader(conn, loaderCfg)
+				if err != nil {
+					return err
+				}
+				if err := ld.LoadFile(f); err != nil {
+					return err
+				}
+				res.Stats.Merge(ld.Stats())
+				return nil
+			}
+
+			if cfg.Assignment == Static {
+				for _, f := range static[n] {
+					if err := loadOne(f); err != nil {
+						res.Err = err
+						return
+					}
+					res.FilesDone = append(res.FilesDone, f.Name)
+				}
+				return
+			}
+			for {
+				f := takeDynamic()
+				if f == nil {
+					return
+				}
+				if err := loadOne(f); err != nil {
+					res.Err = err
+					return
+				}
+				res.FilesDone = append(res.FilesDone, f.Name)
+			}
+		})
+	}
+
+	k.Run()
+
+	out := Result{Nodes: results, Server: server.Stats()}
+	out.Total.RowsLoadedByTable = make(map[string]int)
+	out.Total.SkippedByTable = make(map[string]int)
+	var firstStart, lastFinish time.Duration
+	for i, r := range results {
+		if r.Err != nil {
+			return out, fmt.Errorf("parallel: node %d failed: %w", r.Node, r.Err)
+		}
+		out.Total.Merge(r.Stats)
+		if i == 0 || r.StartedAt < firstStart {
+			firstStart = r.StartedAt
+		}
+		if r.FinishedAt > lastFinish {
+			lastFinish = r.FinishedAt
+		}
+	}
+	out.WallTime = lastFinish - firstStart
+	if out.WallTime > 0 {
+		out.ThroughputMBps = float64(out.Total.NominalBytes) / 1e6 / out.WallTime.Seconds()
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,315 @@
+// Package queries implements the science-query side of the repository.
+//
+// The paper's repository serves two purposes: a warehouse for incrementally
+// loaded data and "a query engine to support scientific research" (§4.5.1) —
+// which is why the single-integer htmid index is the one secondary index kept
+// during the intensive loading phase.  This package provides the typical
+// queries astronomers run against a catalog repository (cone searches by
+// position, magnitude statistics, object and frame detail lookups) and
+// reports whether they could be answered through the htmid index or had to
+// fall back to a full scan, making the loading-versus-querying index
+// trade-off of Figure 8 concrete.
+package queries
+
+import (
+	"fmt"
+	"math"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/htm"
+	"skyloader/internal/relstore"
+	"skyloader/internal/tuning"
+)
+
+// Stats describes the work performed by one query.
+type Stats struct {
+	// RowsExamined is the number of candidate rows inspected.
+	RowsExamined int
+	// RowsReturned is the number of rows satisfying the query.
+	RowsReturned int
+	// UsedIndex reports whether the htmid index served the query.
+	UsedIndex bool
+	// TrixelsScanned is the number of HTM trixel ranges probed (cone search).
+	TrixelsScanned int
+}
+
+// Object is a decoded row of the objects table.
+type Object struct {
+	ObjectID int64
+	FrameID  int64
+	RA       float64
+	Dec      float64
+	HTMID    int64
+	Mag      float64
+}
+
+// decodeObject converts a raw objects row.
+func decodeObject(ts *relstore.TableSchema, r relstore.Row) Object {
+	get := func(col string) relstore.Value { return r[ts.ColumnIndex(col)] }
+	obj := Object{}
+	if v, ok := get("object_id").(int64); ok {
+		obj.ObjectID = v
+	}
+	if v, ok := get("frame_id").(int64); ok {
+		obj.FrameID = v
+	}
+	if v, ok := get("ra").(float64); ok {
+		obj.RA = v
+	}
+	if v, ok := get("dec").(float64); ok {
+		obj.Dec = v
+	}
+	if v, ok := get("htmid").(int64); ok {
+		obj.HTMID = v
+	}
+	if v, ok := get("mag").(float64); ok {
+		obj.Mag = v
+	}
+	return obj
+}
+
+// angularDistanceDeg returns the angular separation of two positions.
+func angularDistanceDeg(ra1, dec1, ra2, dec2 float64) float64 {
+	a := htm.FromRaDec(ra1, dec1)
+	b := htm.FromRaDec(ra2, dec2)
+	dot := a.X*b.X + a.Y*b.Y + a.Z*b.Z
+	if dot > 1 {
+		dot = 1
+	}
+	if dot < -1 {
+		dot = -1
+	}
+	return math.Acos(dot) * 180 / math.Pi
+}
+
+// coneCoverDepth picks a coarse HTM depth whose trixels are comparable in
+// size to the search radius (each level halves the triangle side; level 0
+// triangles span ~90 degrees).
+func coneCoverDepth(radiusDeg float64) int {
+	depth := 0
+	size := 90.0
+	for size > radiusDeg*2 && depth < htm.DefaultDepth {
+		size /= 2
+		depth++
+	}
+	if depth > 0 {
+		depth--
+	}
+	return depth
+}
+
+// ConeSearch returns the objects within radiusDeg of (raDeg, decDeg).
+//
+// When the htmid index exists, the search enumerates the coarse HTM trixels
+// overlapping the cone's bounding cap and probes the index for the id range
+// of each trixel's descendants, then filters candidates by exact angular
+// distance.  Without the index it degrades to a full scan of the objects
+// table — exactly the query-performance cost the paper accepts temporarily by
+// delaying secondary-index builds.
+func ConeSearch(db *relstore.DB, raDeg, decDeg, radiusDeg float64) ([]Object, Stats, error) {
+	if radiusDeg <= 0 {
+		return nil, Stats{}, fmt.Errorf("queries: radius must be positive, got %v", radiusDeg)
+	}
+	ts := db.Schema().Table(catalog.TObjects)
+	if ts == nil {
+		return nil, Stats{}, fmt.Errorf("queries: schema has no objects table")
+	}
+	var stats Stats
+	var out []Object
+
+	index := db.Table(catalog.TObjects).Index(tuning.HTMIDIndexName)
+	if index == nil {
+		// Full scan fallback.
+		err := db.Scan(catalog.TObjects, func(r relstore.Row) bool {
+			stats.RowsExamined++
+			obj := decodeObject(ts, r)
+			if angularDistanceDeg(raDeg, decDeg, obj.RA, obj.Dec) <= radiusDeg {
+				out = append(out, obj)
+			}
+			return true
+		})
+		stats.RowsReturned = len(out)
+		return out, stats, err
+	}
+
+	stats.UsedIndex = true
+	depth := coneCoverDepth(radiusDeg)
+	shift := uint(2 * (htm.DefaultDepth - depth))
+
+	// Probe the trixel containing the centre plus the trixels of sample
+	// points around the cone's rim, deduplicated.  This slightly
+	// over-approximates the cover, which is safe: candidates are filtered by
+	// exact distance afterwards.
+	trixels := map[int64]bool{}
+	addTrixel := func(ra, dec float64) {
+		if dec > 90 {
+			dec = 180 - dec
+			ra += 180
+		}
+		if dec < -90 {
+			dec = -180 - dec
+			ra += 180
+		}
+		ra = math.Mod(ra+720, 360)
+		if id, err := htm.Lookup(ra, dec, depth); err == nil {
+			trixels[id] = true
+		}
+	}
+	addTrixel(raDeg, decDeg)
+	const rimSamples = 12
+	cosDec := math.Cos(decDeg * math.Pi / 180)
+	if math.Abs(cosDec) < 0.05 {
+		cosDec = 0.05
+	}
+	for i := 0; i < rimSamples; i++ {
+		theta := 2 * math.Pi * float64(i) / rimSamples
+		addTrixel(raDeg+radiusDeg*math.Cos(theta)/cosDec, decDeg+radiusDeg*math.Sin(theta))
+	}
+
+	seen := map[int64]bool{}
+	for trixel := range trixels {
+		stats.TrixelsScanned++
+		lo := trixel << shift
+		hi := ((trixel + 1) << shift) - 1
+		rows, err := db.RangeIndexed(catalog.TObjects, tuning.HTMIDIndexName,
+			[]relstore.Value{lo}, []relstore.Value{hi}, 0)
+		if err != nil {
+			return nil, stats, err
+		}
+		for _, r := range rows {
+			obj := decodeObject(ts, r)
+			if seen[obj.ObjectID] {
+				continue
+			}
+			seen[obj.ObjectID] = true
+			stats.RowsExamined++
+			if angularDistanceDeg(raDeg, decDeg, obj.RA, obj.Dec) <= radiusDeg {
+				out = append(out, obj)
+			}
+		}
+	}
+	stats.RowsReturned = len(out)
+	return out, stats, nil
+}
+
+// ObjectByID returns the object with the given primary key, or nil.
+func ObjectByID(db *relstore.DB, objectID int64) (*Object, error) {
+	ts := db.Schema().Table(catalog.TObjects)
+	row, err := db.LookupByPK(catalog.TObjects, []relstore.Value{objectID})
+	if err != nil || row == nil {
+		return nil, err
+	}
+	obj := decodeObject(ts, row)
+	return &obj, nil
+}
+
+// ObjectsOnFrame returns every object detected on the given frame.
+func ObjectsOnFrame(db *relstore.DB, frameID int64) ([]Object, Stats, error) {
+	ts := db.Schema().Table(catalog.TObjects)
+	frameIdx := ts.ColumnIndex("frame_id")
+	var out []Object
+	var stats Stats
+	err := db.Scan(catalog.TObjects, func(r relstore.Row) bool {
+		stats.RowsExamined++
+		if v, ok := r[frameIdx].(int64); ok && v == frameID {
+			out = append(out, decodeObject(ts, r))
+		}
+		return true
+	})
+	stats.RowsReturned = len(out)
+	return out, stats, err
+}
+
+// MagnitudeBin is one bin of a magnitude histogram.
+type MagnitudeBin struct {
+	Low   float64
+	High  float64
+	Count int64
+}
+
+// MagnitudeHistogram bins the objects table by magnitude.  binWidth must be
+// positive; bins with no objects are omitted.
+func MagnitudeHistogram(db *relstore.DB, binWidth float64) ([]MagnitudeBin, error) {
+	if binWidth <= 0 {
+		return nil, fmt.Errorf("queries: bin width must be positive, got %v", binWidth)
+	}
+	ts := db.Schema().Table(catalog.TObjects)
+	magIdx := ts.ColumnIndex("mag")
+	counts := map[int64]int64{}
+	err := db.Scan(catalog.TObjects, func(r relstore.Row) bool {
+		if v, ok := r[magIdx].(float64); ok {
+			counts[int64(math.Floor(v/binWidth))]++
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	var keys []int64
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	// Insertion sort keeps this dependency-free and the key count is small.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := make([]MagnitudeBin, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, MagnitudeBin{
+			Low:   float64(k) * binWidth,
+			High:  float64(k+1) * binWidth,
+			Count: counts[k],
+		})
+	}
+	return out, nil
+}
+
+// VariabilityCandidates returns object ids observed on more than one frame at
+// (approximately) the same position — the time-domain science the synoptic
+// Palomar-Quest survey exists for.  Positions are matched by sharing an HTM
+// trixel at matchDepth.
+func VariabilityCandidates(db *relstore.DB, matchDepth int) (map[int64][]int64, error) {
+	if matchDepth <= 0 || matchDepth > htm.DefaultDepth {
+		return nil, fmt.Errorf("queries: match depth %d out of range", matchDepth)
+	}
+	ts := db.Schema().Table(catalog.TObjects)
+	htmIdx := ts.ColumnIndex("htmid")
+	idIdx := ts.ColumnIndex("object_id")
+	frameIdx := ts.ColumnIndex("frame_id")
+	shift := uint(2 * (htm.DefaultDepth - matchDepth))
+
+	type member struct {
+		objectID int64
+		frameID  int64
+	}
+	groups := map[int64][]member{}
+	err := db.Scan(catalog.TObjects, func(r relstore.Row) bool {
+		id, ok1 := r[htmIdx].(int64)
+		oid, ok2 := r[idIdx].(int64)
+		fid, ok3 := r[frameIdx].(int64)
+		if !ok1 || !ok2 || !ok3 {
+			return true
+		}
+		key := id >> shift
+		groups[key] = append(groups[key], member{objectID: oid, frameID: fid})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[int64][]int64{}
+	for key, members := range groups {
+		frames := map[int64]bool{}
+		var ids []int64
+		for _, m := range members {
+			frames[m.frameID] = true
+			ids = append(ids, m.objectID)
+		}
+		if len(frames) > 1 {
+			out[key] = ids
+		}
+	}
+	return out, nil
+}

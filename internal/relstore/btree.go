@@ -1,0 +1,297 @@
+package relstore
+
+import (
+	"fmt"
+)
+
+// BTree is an in-memory B-tree mapping composite keys to row ids.  It backs
+// secondary indexes; the engine counts node visits and splits per insert so
+// that the cost model can charge index-maintenance time, which is what makes
+// the paper's Figure 8 (effect of attribute indices) reproducible: the
+// single-integer index stays shallow and cheap while the composite
+// three-float index is wider, splits more often and grows with data size.
+type BTree struct {
+	degree int
+	root   *btreeNode
+	size   int
+	nodes  int
+	splits int
+	height int
+}
+
+type btreeEntry struct {
+	key    []Value
+	rowIDs []int64
+}
+
+type btreeNode struct {
+	entries  []btreeEntry
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
+
+// NewBTree creates a B-tree with the given minimum degree (every node except
+// the root holds between degree-1 and 2*degree-1 entries).  Degrees below 2
+// are raised to 2.
+func NewBTree(degree int) *BTree {
+	if degree < 2 {
+		degree = 2
+	}
+	return &BTree{
+		degree: degree,
+		root:   &btreeNode{},
+		nodes:  1,
+		height: 1,
+	}
+}
+
+// Len returns the number of distinct keys stored.
+func (t *BTree) Len() int { return t.size }
+
+// NodeCount returns the number of allocated nodes.
+func (t *BTree) NodeCount() int { return t.nodes }
+
+// Splits returns the cumulative number of node splits performed.
+func (t *BTree) Splits() int { return t.splits }
+
+// Height returns the current tree height (1 for a lone root leaf).
+func (t *BTree) Height() int { return t.height }
+
+// InsertStats reports the physical work performed by one Insert call.
+type InsertStats struct {
+	NodesVisited int
+	Splits       int
+	NewKey       bool
+}
+
+// Insert adds rowID under key.  Duplicate keys accumulate row ids (non-unique
+// index semantics); unique enforcement is done by the table layer before the
+// index is touched.
+func (t *BTree) Insert(key []Value, rowID int64) InsertStats {
+	var st InsertStats
+	if len(t.root.entries) == 2*t.degree-1 {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.nodes++
+		t.height++
+		t.splitChild(t.root, 0)
+		st.Splits++
+	}
+	t.insertNonFull(t.root, key, rowID, &st)
+	if st.NewKey {
+		t.size++
+	}
+	return st
+}
+
+func (t *BTree) splitChild(parent *btreeNode, i int) {
+	t.splits++
+	child := parent.children[i]
+	mid := t.degree - 1
+	right := &btreeNode{}
+	t.nodes++
+	right.entries = append(right.entries, child.entries[mid+1:]...)
+	median := child.entries[mid]
+	child.entries = child.entries[:mid]
+	if !child.leaf() {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+	parent.entries = append(parent.entries, btreeEntry{})
+	copy(parent.entries[i+1:], parent.entries[i:])
+	parent.entries[i] = median
+}
+
+func (t *BTree) insertNonFull(n *btreeNode, key []Value, rowID int64, st *InsertStats) {
+	st.NodesVisited++
+	i, found := n.find(key)
+	if found {
+		n.entries[i].rowIDs = append(n.entries[i].rowIDs, rowID)
+		return
+	}
+	if n.leaf() {
+		n.entries = append(n.entries, btreeEntry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = btreeEntry{key: key, rowIDs: []int64{rowID}}
+		st.NewKey = true
+		return
+	}
+	if len(n.children[i].entries) == 2*t.degree-1 {
+		t.splitChild(n, i)
+		st.Splits++
+		if c := CompareKeys(key, n.entries[i].key); c == 0 {
+			n.entries[i].rowIDs = append(n.entries[i].rowIDs, rowID)
+			return
+		} else if c > 0 {
+			i++
+		}
+	}
+	t.insertNonFull(n.children[i], key, rowID, st)
+}
+
+// find returns the index of the first entry >= key and whether it equals key.
+func (n *btreeNode) find(key []Value) (int, bool) {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(n.entries[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.entries) && CompareKeys(n.entries[lo].key, key) == 0 {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Search returns the row ids stored under key (nil if absent) and the number
+// of nodes visited.
+func (t *BTree) Search(key []Value) ([]int64, int) {
+	n := t.root
+	visited := 0
+	for {
+		visited++
+		i, found := n.find(key)
+		if found {
+			return n.entries[i].rowIDs, visited
+		}
+		if n.leaf() {
+			return nil, visited
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes rowID from the ids stored under key.  When the last id for a
+// key is removed the key remains as a tombstone (empty id list); the loading
+// workload is insert-only, so full B-tree deletion/rebalancing is not needed —
+// tombstones only arise from transaction rollback undo.
+func (t *BTree) Delete(key []Value, rowID int64) bool {
+	n := t.root
+	for {
+		i, found := n.find(key)
+		if found {
+			ids := n.entries[i].rowIDs
+			for j, id := range ids {
+				if id == rowID {
+					n.entries[i].rowIDs = append(ids[:j], ids[j+1:]...)
+					return true
+				}
+			}
+			return false
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+}
+
+// AscendRange visits every (key, rowIDs) pair with from <= key <= to in key
+// order; a nil bound is unbounded.  The visitor returns false to stop early.
+func (t *BTree) AscendRange(from, to []Value, visit func(key []Value, rowIDs []int64) bool) {
+	t.ascend(t.root, from, to, visit)
+}
+
+func (t *BTree) ascend(n *btreeNode, from, to []Value, visit func([]Value, []int64) bool) bool {
+	start := 0
+	if from != nil {
+		start, _ = n.find(from)
+	}
+	for i := start; i <= len(n.entries); i++ {
+		if !n.leaf() {
+			if !t.ascend(n.children[i], from, to, visit) {
+				return false
+			}
+		}
+		if i == len(n.entries) {
+			break
+		}
+		e := n.entries[i]
+		if to != nil && CompareKeys(e.key, to) > 0 {
+			return false
+		}
+		if len(e.rowIDs) > 0 {
+			if !visit(e.key, e.rowIDs) {
+				return false
+			}
+		}
+		// After the first subtree the lower bound no longer prunes.
+		from = nil
+	}
+	return true
+}
+
+// Keys returns all keys in order; intended for tests and small indexes.
+func (t *BTree) Keys() [][]Value {
+	var out [][]Value
+	t.AscendRange(nil, nil, func(key []Value, _ []int64) bool {
+		out = append(out, key)
+		return true
+	})
+	return out
+}
+
+// CheckInvariants verifies B-tree structural invariants: key ordering within
+// and across nodes, node fill bounds, and uniform leaf depth.  It returns a
+// descriptive error when an invariant is violated.  Used by property tests.
+func (t *BTree) CheckInvariants() error {
+	depths := map[int]bool{}
+	var walk func(n *btreeNode, depth int, min, max []Value) error
+	walk = func(n *btreeNode, depth int, min, max []Value) error {
+		if n != t.root {
+			if len(n.entries) < t.degree-1 || len(n.entries) > 2*t.degree-1 {
+				return fmt.Errorf("node at depth %d has %d entries, want [%d,%d]", depth, len(n.entries), t.degree-1, 2*t.degree-1)
+			}
+		}
+		for i := 0; i < len(n.entries); i++ {
+			k := n.entries[i].key
+			if i > 0 && CompareKeys(n.entries[i-1].key, k) >= 0 {
+				return fmt.Errorf("entries out of order at depth %d", depth)
+			}
+			if min != nil && CompareKeys(k, min) <= 0 {
+				return fmt.Errorf("entry below subtree lower bound at depth %d", depth)
+			}
+			if max != nil && CompareKeys(k, max) >= 0 {
+				return fmt.Errorf("entry above subtree upper bound at depth %d", depth)
+			}
+		}
+		if n.leaf() {
+			depths[depth] = true
+			return nil
+		}
+		if len(n.children) != len(n.entries)+1 {
+			return fmt.Errorf("internal node at depth %d has %d children for %d entries", depth, len(n.children), len(n.entries))
+		}
+		for i, c := range n.children {
+			var lo, hi []Value
+			if i > 0 {
+				lo = n.entries[i-1].key
+			} else {
+				lo = min
+			}
+			if i < len(n.entries) {
+				hi = n.entries[i].key
+			} else {
+				hi = max
+			}
+			if err := walk(c, depth+1, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, nil, nil); err != nil {
+		return err
+	}
+	if len(depths) > 1 {
+		return fmt.Errorf("leaves at multiple depths: %v", depths)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package relstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func intKey(v int64) []Value { return []Value{v} }
+
+func TestBTreeInsertSearch(t *testing.T) {
+	bt := NewBTree(3)
+	for i := int64(0); i < 200; i++ {
+		bt.Insert(intKey(i*7%201), i)
+	}
+	if bt.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", bt.Len())
+	}
+	for i := int64(0); i < 200; i++ {
+		ids, _ := bt.Search(intKey(i * 7 % 201))
+		if len(ids) != 1 || ids[0] != i {
+			t.Fatalf("Search(%d) = %v, want [%d]", i*7%201, ids, i)
+		}
+	}
+	if ids, _ := bt.Search(intKey(9999)); ids != nil {
+		t.Fatalf("Search(missing) = %v, want nil", ids)
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+}
+
+func TestBTreeDuplicateKeysAccumulate(t *testing.T) {
+	bt := NewBTree(4)
+	for i := int64(0); i < 10; i++ {
+		st := bt.Insert(intKey(5), i)
+		if i > 0 && st.NewKey {
+			t.Fatal("duplicate key reported as new")
+		}
+	}
+	ids, _ := bt.Search(intKey(5))
+	if len(ids) != 10 {
+		t.Fatalf("expected 10 row ids, got %d", len(ids))
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", bt.Len())
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := NewBTree(3)
+	for i := int64(0); i < 50; i++ {
+		bt.Insert(intKey(i), i)
+	}
+	if !bt.Delete(intKey(10), 10) {
+		t.Fatal("Delete existing failed")
+	}
+	if bt.Delete(intKey(10), 10) {
+		t.Fatal("Delete twice should fail")
+	}
+	if bt.Delete(intKey(999), 1) {
+		t.Fatal("Delete missing key should fail")
+	}
+	ids, _ := bt.Search(intKey(10))
+	if len(ids) != 0 {
+		t.Fatalf("deleted key still has ids: %v", ids)
+	}
+}
+
+func TestBTreeHeightGrows(t *testing.T) {
+	bt := NewBTree(2)
+	h1 := bt.Height()
+	for i := int64(0); i < 1000; i++ {
+		bt.Insert(intKey(i), i)
+	}
+	if bt.Height() <= h1 {
+		t.Fatalf("height did not grow: %d", bt.Height())
+	}
+	if bt.Splits() == 0 {
+		t.Fatal("expected splits")
+	}
+	if bt.NodeCount() < 10 {
+		t.Fatalf("node count = %d, want many", bt.NodeCount())
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	bt := NewBTree(3)
+	for i := int64(0); i < 100; i++ {
+		bt.Insert(intKey(i), i)
+	}
+	var got []int64
+	bt.AscendRange(intKey(10), intKey(20), func(key []Value, ids []int64) bool {
+		got = append(got, key[0].(int64))
+		return true
+	})
+	if len(got) != 11 {
+		t.Fatalf("range [10,20] returned %d keys: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != int64(10+i) {
+			t.Fatalf("range out of order: %v", got)
+		}
+	}
+	// Early stop.
+	count := 0
+	bt.AscendRange(nil, nil, func([]Value, []int64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestBTreeKeysSorted(t *testing.T) {
+	bt := NewBTree(5)
+	rng := rand.New(rand.NewSource(3))
+	seen := map[int64]bool{}
+	for i := 0; i < 500; i++ {
+		v := rng.Int63n(10000)
+		seen[v] = true
+		bt.Insert(intKey(v), int64(i))
+	}
+	keys := bt.Keys()
+	if len(keys) != len(seen) {
+		t.Fatalf("Keys returned %d, want %d", len(keys), len(seen))
+	}
+	for i := 1; i < len(keys); i++ {
+		if CompareKeys(keys[i-1], keys[i]) >= 0 {
+			t.Fatal("keys not strictly increasing")
+		}
+	}
+}
+
+func TestBTreeCompositeKeys(t *testing.T) {
+	bt := NewBTree(3)
+	bt.Insert([]Value{1.5, 2.5, "a"}, 1)
+	bt.Insert([]Value{1.5, 2.5, "b"}, 2)
+	bt.Insert([]Value{1.5, 1.0, "z"}, 3)
+	ids, _ := bt.Search([]Value{1.5, 2.5, "a"})
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("composite search = %v", ids)
+	}
+	keys := bt.Keys()
+	if len(keys) != 3 || keys[0][1].(float64) != 1.0 {
+		t.Fatalf("composite ordering wrong: %v", keys)
+	}
+}
+
+// TestBTreeInvariantsProperty inserts random keys and validates structural
+// invariants and retrievability.
+func TestBTreeInvariantsProperty(t *testing.T) {
+	f := func(seed int64, degree uint8, n uint16) bool {
+		d := int(degree%6) + 2
+		count := int(n%800) + 1
+		rng := rand.New(rand.NewSource(seed))
+		bt := NewBTree(d)
+		inserted := map[int64][]int64{}
+		for i := 0; i < count; i++ {
+			k := rng.Int63n(500)
+			bt.Insert(intKey(k), int64(i))
+			inserted[k] = append(inserted[k], int64(i))
+		}
+		if err := bt.CheckInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		if bt.Len() != len(inserted) {
+			return false
+		}
+		for k, want := range inserted {
+			ids, _ := bt.Search(intKey(k))
+			if len(ids) != len(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeMinimumDegreeRaised(t *testing.T) {
+	bt := NewBTree(0)
+	for i := int64(0); i < 100; i++ {
+		bt.Insert(intKey(i), i)
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

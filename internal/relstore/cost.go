@@ -1,0 +1,83 @@
+package relstore
+
+// OpReport describes the physical work performed by a storage-engine
+// operation.  The engine itself is time-free; the sqlbatch server converts
+// these counts into virtual service time on the simulated server's CPU, data
+// disk, index disk and redo-log disk, which is how the paper's runtime curves
+// are regenerated without the original Oracle/Altix/SAN hardware.
+type OpReport struct {
+	// RowsInserted is the number of rows durably added.
+	RowsInserted int
+	// RowBytes is the total size of the inserted rows.
+	RowBytes int
+	// PagesDirtied counts heap pages newly written or modified.
+	PagesDirtied int
+	// CacheMisses counts buffer-cache misses incurred.
+	CacheMisses int
+	// CacheScanPages is the number of cached pages examined by the database
+	// writer while flushing (grows with the configured data-cache size; see
+	// §4.5.5 of the paper).
+	CacheScanPages int
+	// IndexNodesVisited counts B-tree nodes touched across all maintained
+	// secondary indexes.
+	IndexNodesVisited int
+	// IndexIntColNodeVisits counts node visits weighted by the number of
+	// integer key columns in the index (one unit per integer column per
+	// node visited).  Together with IndexFloatColNodeVisits it lets the
+	// cost model charge differently for the single-integer htmid index and
+	// the composite three-float index of Figure 8.
+	IndexIntColNodeVisits int
+	// IndexFloatColNodeVisits counts node visits weighted by the number of
+	// float key columns in the index.
+	IndexFloatColNodeVisits int
+	// IndexSplits counts B-tree node splits across all maintained indexes.
+	IndexSplits int
+	// IndexEntryBytes is the volume of index entries written.
+	IndexEntryBytes int
+	// LogBytes is the redo-log volume generated.
+	LogBytes int
+	// ConstraintChecks counts individual constraint evaluations (PK, FK,
+	// unique, check, not-null).
+	ConstraintChecks int
+	// FKLookups counts parent-table primary-key probes.
+	FKLookups int
+	// UndoRecords counts undo entries appended for the owning transaction.
+	UndoRecords int
+}
+
+// Add accumulates another report into r.
+func (r *OpReport) Add(o OpReport) {
+	r.RowsInserted += o.RowsInserted
+	r.RowBytes += o.RowBytes
+	r.PagesDirtied += o.PagesDirtied
+	r.CacheMisses += o.CacheMisses
+	r.CacheScanPages += o.CacheScanPages
+	r.IndexNodesVisited += o.IndexNodesVisited
+	r.IndexIntColNodeVisits += o.IndexIntColNodeVisits
+	r.IndexFloatColNodeVisits += o.IndexFloatColNodeVisits
+	r.IndexSplits += o.IndexSplits
+	r.IndexEntryBytes += o.IndexEntryBytes
+	r.LogBytes += o.LogBytes
+	r.ConstraintChecks += o.ConstraintChecks
+	r.FKLookups += o.FKLookups
+	r.UndoRecords += o.UndoRecords
+}
+
+// DBStats aggregates engine-wide counters since database creation.
+type DBStats struct {
+	RowsInserted         int64
+	RowsRejected         int64
+	Transactions         int64
+	Commits              int64
+	Rollbacks            int64
+	ConstraintViolations map[ConstraintKind]int64
+	PagesAllocated       int64
+	LogBytes             int64
+	IndexSplits          int64
+	LockConflicts        int64
+}
+
+// newDBStats returns a zeroed stats structure with the violation map ready.
+func newDBStats() DBStats {
+	return DBStats{ConstraintViolations: make(map[ConstraintKind]int64)}
+}

@@ -1,0 +1,311 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config controls engine-level knobs that the paper tunes in §4.5.
+type Config struct {
+	// CachePages is the size of the block buffer cache in pages.  The paper
+	// found that a smaller cache loads faster because the database writer
+	// scans the whole cache on each flush (§4.5.5).
+	CachePages int
+	// MaxConcurrentTxns is the concurrent-transaction limit (the Oracle
+	// interested-transaction-list analogue); 0 means unlimited.  Exceeding it
+	// is what produces lock waits at high parallelism (§5.4).
+	MaxConcurrentTxns int
+	// BTreeDegree is the minimum degree of secondary-index B-trees.
+	BTreeDegree int
+	// DirtyFlushPages is the number of newly dirtied pages after which the
+	// database writer runs, searching the whole allocated cache (the §4.5.5
+	// effect); 0 uses the default of 32.
+	DirtyFlushPages int
+}
+
+// DefaultConfig mirrors the production repository's loading configuration.
+func DefaultConfig() Config {
+	return Config{
+		CachePages:        2048,
+		MaxConcurrentTxns: 24,
+		BTreeDegree:       32,
+		DirtyFlushPages:   32,
+	}
+}
+
+// DB is an embedded relational database instance.
+type DB struct {
+	schema *Schema
+	cfg    Config
+
+	tables map[string]*Table
+	locks  *LockManager
+	wal    *WAL
+	cache  *BufferCache
+
+	nextTxn int64
+	stats   DBStats
+}
+
+// NewDB creates a database for the given schema.
+func NewDB(schema *Schema, cfg Config) (*DB, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("relstore: nil schema")
+	}
+	if cfg.CachePages <= 0 {
+		cfg.CachePages = DefaultConfig().CachePages
+	}
+	if cfg.BTreeDegree <= 0 {
+		cfg.BTreeDegree = DefaultConfig().BTreeDegree
+	}
+	if cfg.DirtyFlushPages <= 0 {
+		cfg.DirtyFlushPages = DefaultConfig().DirtyFlushPages
+	}
+	db := &DB{
+		schema: schema,
+		cfg:    cfg,
+		tables: make(map[string]*Table, schema.NumTables()),
+		locks:  NewLockManager(cfg.MaxConcurrentTxns),
+		wal:    NewWAL(),
+		cache:  NewBufferCache(cfg.CachePages),
+		stats:  newDBStats(),
+	}
+	for _, ts := range schema.Tables() {
+		t, err := newTable(ts, cfg.BTreeDegree)
+		if err != nil {
+			return nil, err
+		}
+		db.tables[ts.Name] = t
+	}
+	return db, nil
+}
+
+// MustNewDB is NewDB that panics on error.
+func MustNewDB(schema *Schema, cfg Config) *DB {
+	db, err := NewDB(schema, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Schema returns the database schema.
+func (db *DB) Schema() *Schema { return db.schema }
+
+// Config returns the engine configuration.
+func (db *DB) Config() Config { return db.cfg }
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// Locks returns the lock manager.
+func (db *DB) Locks() *LockManager { return db.locks }
+
+// WAL returns the redo log.
+func (db *DB) WAL() *WAL { return db.wal }
+
+// Cache returns the buffer cache.
+func (db *DB) Cache() *BufferCache { return db.cache }
+
+// Stats returns a copy of the engine-wide counters.
+func (db *DB) Stats() DBStats {
+	out := db.stats
+	out.ConstraintViolations = make(map[ConstraintKind]int64, len(db.stats.ConstraintViolations))
+	for k, v := range db.stats.ConstraintViolations {
+		out.ConstraintViolations[k] = v
+	}
+	return out
+}
+
+// TotalRows returns the number of live rows summed over all tables.
+func (db *DB) TotalRows() int64 {
+	var n int64
+	for _, t := range db.tables {
+		n += t.RowCount()
+	}
+	return n
+}
+
+// TotalBytes returns the number of live bytes summed over all tables,
+// including pre-populated (simulated pre-existing) bytes.
+func (db *DB) TotalBytes() int64 {
+	var n int64
+	for _, t := range db.tables {
+		n += t.LogicalByteSize()
+	}
+	return n
+}
+
+// RowCounts returns a map of table name to live row count.
+func (db *DB) RowCounts() map[string]int64 {
+	out := make(map[string]int64, len(db.tables))
+	for name, t := range db.tables {
+		out[name] = t.RowCount()
+	}
+	return out
+}
+
+// checkForeignKeys verifies every foreign key of the row; NULL components are
+// treated as satisfied (SQL MATCH SIMPLE semantics).
+func (db *DB) checkForeignKeys(ts *TableSchema, row Row, rep *OpReport) error {
+	for _, fk := range ts.ForeignKeys {
+		rep.ConstraintChecks++
+		key := make([]Value, len(fk.Columns))
+		null := false
+		for i, c := range fk.Columns {
+			v := row[ts.ColumnIndex(c)]
+			if v == nil {
+				null = true
+				break
+			}
+			key[i] = v
+		}
+		if null {
+			continue
+		}
+		parent := db.tables[fk.RefTable]
+		rep.FKLookups++
+		if parent == nil || !parent.lookupPK(key) {
+			return &ConstraintError{Kind: KindForeignKey, Table: ts.Name, Constraint: fk.Name,
+				Detail: fmt.Sprintf("no parent row in %q for key %s", fk.RefTable, EncodeKey(key))}
+		}
+	}
+	return nil
+}
+
+// insert validates and stores one row on behalf of txn.  It returns the
+// physical-work report; on constraint violation nothing is stored.
+func (db *DB) insert(txn *Txn, tableName string, columns []string, values []Value) (OpReport, error) {
+	var rep OpReport
+	t, ok := db.tables[tableName]
+	if !ok {
+		db.stats.RowsRejected++
+		db.stats.ConstraintViolations[KindUnknownTable]++
+		return rep, &ConstraintError{Kind: KindUnknownTable, Table: tableName}
+	}
+	row, err := t.buildRow(columns, values)
+	if err != nil {
+		db.recordViolation(err)
+		return rep, err
+	}
+	if err := db.checkForeignKeys(t.schema, row, &rep); err != nil {
+		db.recordViolation(err)
+		return rep, err
+	}
+	id, insRep, err := t.insertPrepared(row)
+	rep.Add(insRep)
+	if err != nil {
+		db.recordViolation(err)
+		return rep, err
+	}
+
+	// Lock, log and cache accounting.
+	other, lockErr := db.locks.LockRows(txn.id, tableName, 1)
+	if lockErr != nil {
+		// The row is stored; a lock accounting failure indicates misuse of
+		// the transaction, which we surface loudly.
+		panic(lockErr)
+	}
+	if other > 0 {
+		db.stats.LockConflicts++
+	}
+	rep.LogBytes += db.wal.AppendInsert(rep.RowBytes + rep.IndexEntryBytes)
+	loc := t.rows[id]
+	miss, _ := db.cache.Touch(tableName, loc.pageIdx, true)
+	if miss {
+		rep.CacheMisses++
+	}
+	// Database-writer activation: once enough dirty buffers accumulate, the
+	// writer searches the whole allocated cache for them.  The inserting
+	// session pays for that search, which is why a smaller data cache loads
+	// faster (§4.5.5).
+	if db.cache.DirtySinceFlush() >= db.cfg.DirtyFlushPages {
+		_, scanned := db.cache.FlushDirty()
+		rep.CacheScanPages += scanned
+	}
+
+	txn.recordInsert(tableName, id)
+	rep.UndoRecords++
+	db.stats.RowsInserted++
+	db.stats.PagesAllocated = db.pagesAllocated()
+	db.stats.LogBytes = db.wal.bytes
+	db.stats.IndexSplits += int64(insRep.IndexSplits)
+	return rep, nil
+}
+
+func (db *DB) recordViolation(err error) {
+	db.stats.RowsRejected++
+	if kind, ok := ViolationKind(err); ok {
+		db.stats.ConstraintViolations[kind]++
+	}
+}
+
+func (db *DB) pagesAllocated() int64 {
+	var n int64
+	for _, t := range db.tables {
+		n += int64(t.PageCount())
+	}
+	return n
+}
+
+// CreateIndex builds a secondary index on the named table.
+func (db *DB) CreateIndex(table, name string, columns []string, unique bool) (*Index, error) {
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, ErrNoSuchTable
+	}
+	return t.createIndex(name, columns, unique)
+}
+
+// DropIndex removes a secondary index from the named table.
+func (db *DB) DropIndex(table, name string) error {
+	t, ok := db.tables[table]
+	if !ok {
+		return ErrNoSuchTable
+	}
+	return t.dropIndex(name)
+}
+
+// AllIndexes lists every secondary index in the database, sorted by table
+// then index name.
+func (db *DB) AllIndexes() []*Index {
+	var out []*Index
+	for _, name := range db.schema.TableNames() {
+		out = append(out, db.tables[name].Indexes()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// PrePopulate marks the named table as already holding rows/bytes from
+// earlier loading sessions.  It is used by the Figure 9 experiment (effect of
+// database size) to set up 50-300 GB databases without materializing them;
+// the insert path with secondary indices disabled does not depend on resident
+// volume, which is exactly the behaviour the paper reports.
+func (db *DB) PrePopulate(table string, rows, bytes int64) error {
+	t, ok := db.tables[table]
+	if !ok {
+		return ErrNoSuchTable
+	}
+	t.prePopulate(rows, bytes)
+	return nil
+}
+
+// PrePopulateEvenly spreads the given volume across all tables proportionally
+// to a fixed catalog-like distribution (objects dominate).
+func (db *DB) PrePopulateEvenly(totalBytes int64) {
+	names := db.schema.TableNames()
+	if len(names) == 0 {
+		return
+	}
+	per := totalBytes / int64(len(names))
+	for _, n := range names {
+		// Assume ~200 bytes per historical row.
+		_ = db.PrePopulate(n, per/200, per)
+	}
+}

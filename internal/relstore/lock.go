@@ -1,0 +1,110 @@
+package relstore
+
+import "fmt"
+
+// LockManager tracks transaction admission and per-table insert interest.
+// The engine executes under the discrete-event simulation's single-runner
+// discipline, so the lock manager does not need OS-level synchronization; its
+// job is to enforce the concurrent-transaction limit and to expose the
+// information (how many other transactions are inserting into the same
+// tables) that the sqlbatch contention model uses to reproduce the lock waits
+// and stalls the paper observed at 6-8 parallel loaders (§5.4).
+type LockManager struct {
+	maxConcurrentTxns int
+	active            map[int64]*txnLocks
+	tableWriters      map[string]int
+
+	conflicts     int64
+	admissionFull int64
+}
+
+type txnLocks struct {
+	tables map[string]int // table -> row locks held
+}
+
+// NewLockManager creates a lock manager that admits at most maxConcurrentTxns
+// simultaneously active transactions (0 or negative means unlimited).
+func NewLockManager(maxConcurrentTxns int) *LockManager {
+	return &LockManager{
+		maxConcurrentTxns: maxConcurrentTxns,
+		active:            make(map[int64]*txnLocks),
+		tableWriters:      make(map[string]int),
+	}
+}
+
+// MaxConcurrentTxns returns the admission limit (0 = unlimited).
+func (m *LockManager) MaxConcurrentTxns() int { return m.maxConcurrentTxns }
+
+// ActiveTxns returns the number of currently admitted transactions.
+func (m *LockManager) ActiveTxns() int { return len(m.active) }
+
+// Admit registers a transaction.  It returns ErrTooManyTransactions when the
+// concurrent transaction limit is reached; callers (the sqlbatch server)
+// translate that into a queued wait.
+func (m *LockManager) Admit(txnID int64) error {
+	if _, ok := m.active[txnID]; ok {
+		return fmt.Errorf("relstore: transaction %d already admitted", txnID)
+	}
+	if m.maxConcurrentTxns > 0 && len(m.active) >= m.maxConcurrentTxns {
+		m.admissionFull++
+		return ErrTooManyTransactions
+	}
+	m.active[txnID] = &txnLocks{tables: make(map[string]int)}
+	return nil
+}
+
+// LockRows records that txnID holds n row locks on table and returns the
+// number of *other* active transactions currently writing the same table —
+// the contention signal used by the simulation's lock-wait model.
+func (m *LockManager) LockRows(txnID int64, table string, n int) (otherWriters int, err error) {
+	tl, ok := m.active[txnID]
+	if !ok {
+		return 0, fmt.Errorf("relstore: transaction %d not admitted", txnID)
+	}
+	if tl.tables[table] == 0 {
+		m.tableWriters[table]++
+	}
+	tl.tables[table] += n
+	other := m.tableWriters[table] - 1
+	if other > 0 {
+		m.conflicts++
+	}
+	return other, nil
+}
+
+// TableWriters returns how many active transactions hold locks on table.
+func (m *LockManager) TableWriters(table string) int { return m.tableWriters[table] }
+
+// ReleaseAll releases every lock held by txnID and removes it from the active
+// set.  Releasing an unknown transaction is a no-op.
+func (m *LockManager) ReleaseAll(txnID int64) {
+	tl, ok := m.active[txnID]
+	if !ok {
+		return
+	}
+	for table := range tl.tables {
+		m.tableWriters[table]--
+		if m.tableWriters[table] <= 0 {
+			delete(m.tableWriters, table)
+		}
+	}
+	delete(m.active, txnID)
+}
+
+// LockStats is a snapshot of lock-manager counters.
+type LockStats struct {
+	ActiveTxns     int
+	Conflicts      int64
+	AdmissionFull  int64
+	MaxConcurrency int
+}
+
+// Stats returns a snapshot of the lock-manager counters.
+func (m *LockManager) Stats() LockStats {
+	return LockStats{
+		ActiveTxns:     len(m.active),
+		Conflicts:      m.conflicts,
+		AdmissionFull:  m.admissionFull,
+		MaxConcurrency: m.maxConcurrentTxns,
+	}
+}

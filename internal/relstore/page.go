@@ -1,0 +1,94 @@
+package relstore
+
+// pageSizeBytes is the nominal heap page size; it matches the 8 KB block size
+// the production Oracle repository used.
+const pageSizeBytes = 8192
+
+// page is a heap page holding row data for one table.
+type page struct {
+	id    int
+	rows  []Row
+	bytes int
+	dirty bool
+}
+
+func (p *page) fits(rowBytes int) bool {
+	return p.bytes+rowBytes <= pageSizeBytes || len(p.rows) == 0
+}
+
+// heap is a simple append-only page heap for one table.
+type heapStore struct {
+	pages []*page
+	// rowLoc maps rowID -> (page index, slot).
+	rowCount int64
+	bytes    int64
+}
+
+type rowLoc struct {
+	pageIdx int
+	slot    int
+}
+
+func newHeapStore() *heapStore {
+	return &heapStore{}
+}
+
+// append places a row in the heap and returns its location plus whether a new
+// page was allocated.
+func (h *heapStore) append(r Row) (rowLoc, bool) {
+	rb := RowSize(r)
+	newPage := false
+	if len(h.pages) == 0 || !h.pages[len(h.pages)-1].fits(rb) {
+		h.pages = append(h.pages, &page{id: len(h.pages)})
+		newPage = true
+	}
+	p := h.pages[len(h.pages)-1]
+	p.rows = append(p.rows, r)
+	p.bytes += rb
+	p.dirty = true
+	h.rowCount++
+	h.bytes += int64(rb)
+	return rowLoc{pageIdx: len(h.pages) - 1, slot: len(p.rows) - 1}, newPage
+}
+
+// get returns the row stored at loc; deleted rows are nil.
+func (h *heapStore) get(loc rowLoc) Row {
+	if loc.pageIdx < 0 || loc.pageIdx >= len(h.pages) {
+		return nil
+	}
+	p := h.pages[loc.pageIdx]
+	if loc.slot < 0 || loc.slot >= len(p.rows) {
+		return nil
+	}
+	return p.rows[loc.slot]
+}
+
+// markDeleted removes the row at loc (used only by transaction rollback).
+func (h *heapStore) markDeleted(loc rowLoc) {
+	if r := h.get(loc); r != nil {
+		p := h.pages[loc.pageIdx]
+		p.bytes -= RowSize(r)
+		p.rows[loc.slot] = nil
+		p.dirty = true
+		h.rowCount--
+		h.bytes -= int64(RowSize(r))
+	}
+}
+
+// scan visits every live row in heap order.
+func (h *heapStore) scan(visit func(id int64, r Row) bool) {
+	var id int64
+	for _, p := range h.pages {
+		for _, r := range p.rows {
+			if r != nil {
+				if !visit(id, r) {
+					return
+				}
+			}
+			id++
+		}
+	}
+}
+
+// pageCount returns the number of allocated pages.
+func (h *heapStore) pageCount() int { return len(h.pages) }

@@ -1,0 +1,213 @@
+package relstore
+
+import (
+	"fmt"
+	"math"
+)
+
+// The query layer is intentionally small: the repository exists primarily to
+// be loaded, but the paper's repository also "act[s] as a query engine to
+// support scientific research" (§4.5.1).  These helpers support the examples,
+// post-load validation and the integration tests.
+
+// Count returns the number of live rows in the named table.
+func (db *DB) Count(table string) (int64, error) {
+	t, ok := db.tables[table]
+	if !ok {
+		return 0, ErrNoSuchTable
+	}
+	return t.RowCount(), nil
+}
+
+// Scan visits every live row of the table in heap order, passing a copy of
+// each row to visit; visit returns false to stop.
+func (db *DB) Scan(table string, visit func(Row) bool) error {
+	t, ok := db.tables[table]
+	if !ok {
+		return ErrNoSuchTable
+	}
+	t.heap.scan(func(_ int64, r Row) bool {
+		return visit(r.Clone())
+	})
+	return nil
+}
+
+// SelectWhere returns the rows of table for which pred returns true, up to
+// limit rows (limit <= 0 means no limit).
+func (db *DB) SelectWhere(table string, pred func(Row) bool, limit int) ([]Row, error) {
+	var out []Row
+	err := db.Scan(table, func(r Row) bool {
+		if pred == nil || pred(r) {
+			out = append(out, r)
+			if limit > 0 && len(out) >= limit {
+				return false
+			}
+		}
+		return true
+	})
+	return out, err
+}
+
+// LookupByPK returns the row whose primary key equals key, or nil.
+func (db *DB) LookupByPK(table string, key []Value) (Row, error) {
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, ErrNoSuchTable
+	}
+	id, ok := t.pkIndex[EncodeKey(key)]
+	if !ok {
+		return nil, nil
+	}
+	return t.getRow(id), nil
+}
+
+// SelectEqualIndexed returns rows whose indexed columns equal key, using the
+// named secondary index; it also reports how many B-tree nodes were visited.
+func (db *DB) SelectEqualIndexed(table, index string, key []Value) ([]Row, int, error) {
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, 0, ErrNoSuchTable
+	}
+	ix := t.Index(index)
+	if ix == nil {
+		return nil, 0, ErrNoSuchIndex
+	}
+	ids, visited := ix.tree.Search(key)
+	out := make([]Row, 0, len(ids))
+	for _, id := range ids {
+		if r := t.getRow(id); r != nil {
+			out = append(out, r)
+		}
+	}
+	return out, visited, nil
+}
+
+// RangeIndexed returns rows whose indexed key lies in [from, to] using the
+// named secondary index.
+func (db *DB) RangeIndexed(table, index string, from, to []Value, limit int) ([]Row, error) {
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, ErrNoSuchTable
+	}
+	ix := t.Index(index)
+	if ix == nil {
+		return nil, ErrNoSuchIndex
+	}
+	var out []Row
+	ix.tree.AscendRange(from, to, func(_ []Value, ids []int64) bool {
+		for _, id := range ids {
+			if r := t.getRow(id); r != nil {
+				out = append(out, r)
+				if limit > 0 && len(out) >= limit {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return out, nil
+}
+
+// AggregateResult summarizes a numeric column.
+type AggregateResult struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Mean  float64
+}
+
+// Aggregate computes count/sum/min/max/mean of a numeric column, skipping
+// NULLs.
+func (db *DB) Aggregate(table, column string) (AggregateResult, error) {
+	t, ok := db.tables[table]
+	if !ok {
+		return AggregateResult{}, ErrNoSuchTable
+	}
+	idx := t.schema.ColumnIndex(column)
+	if idx < 0 {
+		return AggregateResult{}, fmt.Errorf("relstore: table %q has no column %q", table, column)
+	}
+	res := AggregateResult{Min: math.Inf(1), Max: math.Inf(-1)}
+	t.heap.scan(func(_ int64, r Row) bool {
+		v := r[idx]
+		if v == nil {
+			return true
+		}
+		var f float64
+		switch x := v.(type) {
+		case int64:
+			f = float64(x)
+		case float64:
+			f = x
+		default:
+			return true
+		}
+		res.Count++
+		res.Sum += f
+		if f < res.Min {
+			res.Min = f
+		}
+		if f > res.Max {
+			res.Max = f
+		}
+		return true
+	})
+	if res.Count > 0 {
+		res.Mean = res.Sum / float64(res.Count)
+	} else {
+		res.Min, res.Max = 0, 0
+	}
+	return res, nil
+}
+
+// VerifyIntegrity checks every foreign key of every live row and returns the
+// number of orphaned rows found (0 means the repository is referentially
+// consistent).  The integration tests run this after every load.
+func (db *DB) VerifyIntegrity() (orphans int64, err error) {
+	for _, name := range db.schema.TableNames() {
+		t := db.tables[name]
+		ts := t.schema
+		if len(ts.ForeignKeys) == 0 {
+			continue
+		}
+		t.heap.scan(func(_ int64, r Row) bool {
+			var rep OpReport
+			if e := db.checkForeignKeys(ts, r, &rep); e != nil {
+				orphans++
+			}
+			return true
+		})
+	}
+	return orphans, nil
+}
+
+// VerifyPrimaryKeys re-derives every table's primary-key index from the heap
+// and reports any mismatch; used by tests to validate rollback correctness.
+func (db *DB) VerifyPrimaryKeys() error {
+	for _, name := range db.schema.TableNames() {
+		t := db.tables[name]
+		seen := make(map[string]bool)
+		var dup error
+		t.heap.scan(func(_ int64, r Row) bool {
+			enc := EncodeKey(t.keyOf(r, t.pkCols))
+			if seen[enc] {
+				dup = fmt.Errorf("relstore: duplicate primary key %s in table %q", enc, name)
+				return false
+			}
+			seen[enc] = true
+			if _, ok := t.pkIndex[enc]; !ok {
+				dup = fmt.Errorf("relstore: primary key %s of table %q missing from index", enc, name)
+				return false
+			}
+			return true
+		})
+		if dup != nil {
+			return dup
+		}
+		if int64(len(seen)) != t.RowCount() {
+			return fmt.Errorf("relstore: table %q has %d rows but %d distinct keys", name, t.RowCount(), len(seen))
+		}
+	}
+	return nil
+}

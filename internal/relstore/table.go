@@ -1,0 +1,348 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Index is a secondary index over one or more columns of a table.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+
+	tree    *BTree
+	colIdxs []int
+}
+
+// Tree exposes the underlying B-tree (read-only use by tests and queries).
+func (ix *Index) Tree() *BTree { return ix.tree }
+
+// Table is the runtime state of one table: schema, heap storage, primary-key
+// hash index, unique-constraint hash indexes and secondary B-tree indexes.
+type Table struct {
+	schema *TableSchema
+
+	heap    *heapStore
+	rows    map[int64]rowLoc
+	nextRow int64
+
+	pkCols  []int
+	pkIndex map[string]int64
+
+	uniqueCols  [][]int
+	uniqueMaps  []map[string]int64
+	uniqueNames []string
+
+	indexes map[string]*Index
+
+	btreeDegree int
+
+	// prePopulatedBytes models rows that "already exist" in the table from
+	// earlier loading sessions without materializing them (Figure 9 sweeps
+	// the database size from 50 to 300 GB).
+	prePopulatedBytes int64
+	prePopulatedRows  int64
+}
+
+func newTable(schema *TableSchema, btreeDegree int) (*Table, error) {
+	t := &Table{
+		schema:      schema,
+		heap:        newHeapStore(),
+		rows:        make(map[int64]rowLoc),
+		pkIndex:     make(map[string]int64),
+		indexes:     make(map[string]*Index),
+		btreeDegree: btreeDegree,
+	}
+	for _, c := range schema.PrimaryKey {
+		idx := schema.ColumnIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("relstore: table %q: primary key column %q missing", schema.Name, c)
+		}
+		t.pkCols = append(t.pkCols, idx)
+	}
+	for _, u := range schema.Uniques {
+		var cols []int
+		for _, c := range u.Columns {
+			idx := schema.ColumnIndex(c)
+			if idx < 0 {
+				return nil, fmt.Errorf("relstore: table %q: unique column %q missing", schema.Name, c)
+			}
+			cols = append(cols, idx)
+		}
+		t.uniqueCols = append(t.uniqueCols, cols)
+		t.uniqueMaps = append(t.uniqueMaps, make(map[string]int64))
+		t.uniqueNames = append(t.uniqueNames, u.Name)
+	}
+	return t, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *TableSchema { return t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// RowCount returns the number of live rows physically stored.
+func (t *Table) RowCount() int64 { return t.heap.rowCount }
+
+// LogicalRowCount returns stored plus pre-populated rows.
+func (t *Table) LogicalRowCount() int64 { return t.heap.rowCount + t.prePopulatedRows }
+
+// ByteSize returns the number of bytes physically stored.
+func (t *Table) ByteSize() int64 { return t.heap.bytes }
+
+// LogicalByteSize returns stored plus pre-populated bytes.
+func (t *Table) LogicalByteSize() int64 { return t.heap.bytes + t.prePopulatedBytes }
+
+// PageCount returns the number of heap pages allocated.
+func (t *Table) PageCount() int { return t.heap.pageCount() }
+
+// Indexes returns the table's secondary indexes sorted by name.
+func (t *Table) Indexes() []*Index {
+	out := make([]*Index, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Index returns the named index or nil.
+func (t *Table) Index(name string) *Index { return t.indexes[name] }
+
+// buildRow maps (columns, values) onto a full row in schema order, coercing
+// values to their declared types.  Missing columns become NULL.
+func (t *Table) buildRow(columns []string, values []Value) (Row, error) {
+	if len(columns) != len(values) {
+		return nil, &ConstraintError{Kind: KindArity, Table: t.schema.Name,
+			Detail: fmt.Sprintf("%d columns but %d values", len(columns), len(values))}
+	}
+	row := make(Row, len(t.schema.Columns))
+	for i, col := range columns {
+		idx := t.schema.ColumnIndex(col)
+		if idx < 0 {
+			return nil, &ConstraintError{Kind: KindArity, Table: t.schema.Name, Column: col,
+				Detail: "unknown column"}
+		}
+		v, err := Coerce(values[i], t.schema.Columns[idx].Type)
+		if err != nil {
+			return nil, &ConstraintError{Kind: KindType, Table: t.schema.Name, Column: col, Detail: err.Error()}
+		}
+		row[idx] = v
+	}
+	return row, nil
+}
+
+// checkRow validates NOT NULL and CHECK constraints, returning the number of
+// constraint evaluations performed.
+func (t *Table) checkRow(row Row) (int, error) {
+	checks := 0
+	for i, c := range t.schema.Columns {
+		if !c.Nullable {
+			checks++
+			if row[i] == nil {
+				return checks, &ConstraintError{Kind: KindNotNull, Table: t.schema.Name, Column: c.Name}
+			}
+		}
+	}
+	for _, ck := range t.schema.Checks {
+		checks++
+		if ck.Column != "" {
+			idx := t.schema.ColumnIndex(ck.Column)
+			v := row[idx]
+			if v != nil && (ck.Min != nil || ck.Max != nil) {
+				var f float64
+				switch x := v.(type) {
+				case int64:
+					f = float64(x)
+				case float64:
+					f = x
+				default:
+					return checks, &ConstraintError{Kind: KindCheck, Table: t.schema.Name,
+						Constraint: ck.Name, Column: ck.Column, Detail: "non-numeric value for range check"}
+				}
+				if ck.Min != nil && f < *ck.Min {
+					return checks, &ConstraintError{Kind: KindCheck, Table: t.schema.Name,
+						Constraint: ck.Name, Column: ck.Column,
+						Detail: fmt.Sprintf("value %v below minimum %v", f, *ck.Min)}
+				}
+				if ck.Max != nil && f > *ck.Max {
+					return checks, &ConstraintError{Kind: KindCheck, Table: t.schema.Name,
+						Constraint: ck.Name, Column: ck.Column,
+						Detail: fmt.Sprintf("value %v above maximum %v", f, *ck.Max)}
+				}
+			}
+		}
+		if ck.Fn != nil && !ck.Fn(row) {
+			return checks, &ConstraintError{Kind: KindCheck, Table: t.schema.Name, Constraint: ck.Name}
+		}
+	}
+	return checks, nil
+}
+
+func (t *Table) keyOf(row Row, cols []int) []Value {
+	key := make([]Value, len(cols))
+	for i, c := range cols {
+		key[i] = row[c]
+	}
+	return key
+}
+
+// insertPrepared validates uniqueness constraints and stores the row.  The
+// caller (DB.insert) has already coerced values and checked foreign keys.
+// It returns the new row id and the physical-work report.
+func (t *Table) insertPrepared(row Row) (int64, OpReport, error) {
+	var rep OpReport
+
+	checks, err := t.checkRow(row)
+	rep.ConstraintChecks += checks
+	if err != nil {
+		return 0, rep, err
+	}
+
+	pkKey := t.keyOf(row, t.pkCols)
+	pkEnc := EncodeKey(pkKey)
+	rep.ConstraintChecks++
+	for _, v := range pkKey {
+		if v == nil {
+			return 0, rep, &ConstraintError{Kind: KindNotNull, Table: t.schema.Name,
+				Column: t.schema.PrimaryKey[0], Detail: "NULL in primary key"}
+		}
+	}
+	if _, dup := t.pkIndex[pkEnc]; dup {
+		return 0, rep, &ConstraintError{Kind: KindPrimaryKey, Table: t.schema.Name,
+			Constraint: "pk_" + t.schema.Name, Detail: "duplicate key " + pkEnc}
+	}
+
+	uniqueEncs := make([]string, len(t.uniqueCols))
+	for i, cols := range t.uniqueCols {
+		rep.ConstraintChecks++
+		enc := EncodeKey(t.keyOf(row, cols))
+		if _, dup := t.uniqueMaps[i][enc]; dup {
+			return 0, rep, &ConstraintError{Kind: KindUnique, Table: t.schema.Name,
+				Constraint: t.uniqueNames[i], Detail: "duplicate key " + enc}
+		}
+		uniqueEncs[i] = enc
+	}
+
+	// All constraints satisfied: store the row.
+	id := t.nextRow
+	t.nextRow++
+	loc, newPage := t.heap.append(row)
+	t.rows[id] = loc
+	t.pkIndex[pkEnc] = id
+	for i, enc := range uniqueEncs {
+		t.uniqueMaps[i][enc] = id
+	}
+
+	rep.RowsInserted = 1
+	rep.RowBytes = RowSize(row)
+	rep.PagesDirtied = 1
+	if newPage {
+		rep.CacheMisses++ // a fresh block is always a cache miss
+	}
+
+	for _, ix := range t.indexes {
+		key := t.keyOf(row, ix.colIdxs)
+		st := ix.tree.Insert(key, id)
+		rep.IndexNodesVisited += st.NodesVisited
+		rep.IndexSplits += st.Splits
+		for _, ci := range ix.colIdxs {
+			switch t.schema.Columns[ci].Type {
+			case TypeFloat:
+				rep.IndexFloatColNodeVisits += st.NodesVisited
+			default:
+				rep.IndexIntColNodeVisits += st.NodesVisited
+			}
+		}
+		for _, v := range key {
+			rep.IndexEntryBytes += ValueSize(v)
+		}
+		rep.IndexEntryBytes += 8 // row id pointer
+	}
+	return id, rep, nil
+}
+
+// deleteRow removes a previously inserted row (transaction rollback only).
+func (t *Table) deleteRow(id int64) {
+	loc, ok := t.rows[id]
+	if !ok {
+		return
+	}
+	row := t.heap.get(loc)
+	if row == nil {
+		return
+	}
+	delete(t.pkIndex, EncodeKey(t.keyOf(row, t.pkCols)))
+	for i, cols := range t.uniqueCols {
+		delete(t.uniqueMaps[i], EncodeKey(t.keyOf(row, cols)))
+	}
+	for _, ix := range t.indexes {
+		ix.tree.Delete(t.keyOf(row, ix.colIdxs), id)
+	}
+	t.heap.markDeleted(loc)
+	delete(t.rows, id)
+}
+
+// lookupPK returns whether a row with the given primary-key values exists.
+func (t *Table) lookupPK(key []Value) bool {
+	_, ok := t.pkIndex[EncodeKey(key)]
+	return ok
+}
+
+// getRow returns a copy of the row with the given id, or nil.
+func (t *Table) getRow(id int64) Row {
+	loc, ok := t.rows[id]
+	if !ok {
+		return nil
+	}
+	r := t.heap.get(loc)
+	if r == nil {
+		return nil
+	}
+	return r.Clone()
+}
+
+// createIndex builds a secondary index over the named columns, populating it
+// from existing rows.  It returns the populated index.
+func (t *Table) createIndex(name string, columns []string, unique bool) (*Index, error) {
+	if _, exists := t.indexes[name]; exists {
+		return nil, ErrIndexExists
+	}
+	ix := &Index{Name: name, Table: t.schema.Name, Columns: columns, Unique: unique,
+		tree: NewBTree(t.btreeDegree)}
+	for _, c := range columns {
+		idx := t.schema.ColumnIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("relstore: index %q references unknown column %q", name, c)
+		}
+		ix.colIdxs = append(ix.colIdxs, idx)
+	}
+	t.heap.scan(func(_ int64, r Row) bool {
+		// Heap scan ids do not match table row ids when rollbacks occurred,
+		// so re-derive the id from the primary key.
+		id := t.pkIndex[EncodeKey(t.keyOf(r, t.pkCols))]
+		ix.tree.Insert(t.keyOf(r, ix.colIdxs), id)
+		return true
+	})
+	t.indexes[name] = ix
+	return ix, nil
+}
+
+// dropIndex removes the named index.
+func (t *Table) dropIndex(name string) error {
+	if _, ok := t.indexes[name]; !ok {
+		return ErrNoSuchIndex
+	}
+	delete(t.indexes, name)
+	return nil
+}
+
+// prePopulate marks the table as already containing rows/bytes loaded in
+// earlier sessions without materializing them.
+func (t *Table) prePopulate(rows, bytes int64) {
+	t.prePopulatedRows += rows
+	t.prePopulatedBytes += bytes
+}

@@ -1,0 +1,114 @@
+package relstore
+
+// Txn is a database transaction.  The loading workload is insert-only, so the
+// undo log records inserted row ids; rollback removes them and commit simply
+// truncates the undo and forces the redo log.
+type Txn struct {
+	db     *DB
+	id     int64
+	active bool
+
+	undo []undoRecord
+
+	rowsInserted int
+	batches      int
+}
+
+type undoRecord struct {
+	table string
+	rowID int64
+}
+
+// Begin starts a new transaction.  It returns ErrTooManyTransactions when the
+// engine's concurrent-transaction limit is reached; the caller is expected to
+// wait and retry (the sqlbatch server queues on a transaction-slot resource).
+func (db *DB) Begin() (*Txn, error) {
+	db.nextTxn++
+	id := db.nextTxn
+	if err := db.locks.Admit(id); err != nil {
+		db.nextTxn--
+		return nil, err
+	}
+	db.stats.Transactions++
+	return &Txn{db: db, id: id, active: true}, nil
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() int64 { return t.id }
+
+// Active reports whether the transaction can still accept work.
+func (t *Txn) Active() bool { return t.active }
+
+// RowsInserted returns the number of rows inserted in this transaction so far
+// (since Begin, including rows already made durable by an intermediate
+// Commit-and-continue is not supported: commit ends the transaction).
+func (t *Txn) RowsInserted() int { return t.rowsInserted }
+
+func (t *Txn) recordInsert(table string, rowID int64) {
+	t.undo = append(t.undo, undoRecord{table: table, rowID: rowID})
+	t.rowsInserted++
+}
+
+// Insert validates and stores one row in the named table.  columns selects
+// which attributes the values correspond to; unspecified columns are NULL.
+// On a constraint violation nothing is stored and the violation is returned.
+func (t *Txn) Insert(table string, columns []string, values []Value) (OpReport, error) {
+	if !t.active {
+		return OpReport{}, ErrTxnNotActive
+	}
+	return t.db.insert(t, table, columns, values)
+}
+
+// CommitReport describes the physical work performed by a commit.
+type CommitReport struct {
+	// LogBytesForced is the redo volume the commit had to sync.
+	LogBytesForced int64
+	// DirtyPagesWritten is the number of dirty cache pages flushed.
+	DirtyPagesWritten int
+	// CacheScanPages is the number of cached pages the database writer
+	// scanned while flushing (proportional to cache size, §4.5.5).
+	CacheScanPages int
+	// UndoRecordsDiscarded is the length of the undo log released.
+	UndoRecordsDiscarded int
+}
+
+// Commit makes the transaction's inserts durable and ends the transaction.
+func (t *Txn) Commit() (CommitReport, error) {
+	if !t.active {
+		return CommitReport{}, ErrTxnNotActive
+	}
+	forced := t.db.wal.AppendCommit()
+	written, scanned := t.db.cache.FlushDirty()
+	rep := CommitReport{
+		LogBytesForced:       forced,
+		DirtyPagesWritten:    written,
+		CacheScanPages:       scanned,
+		UndoRecordsDiscarded: len(t.undo),
+	}
+	t.db.locks.ReleaseAll(t.id)
+	t.db.stats.Commits++
+	t.undo = nil
+	t.active = false
+	return rep, nil
+}
+
+// Rollback undoes every insert performed by the transaction and ends it.
+func (t *Txn) Rollback() error {
+	if !t.active {
+		return ErrTxnNotActive
+	}
+	// Undo in reverse order so children are removed before parents and the
+	// foreign-key invariant never observes an orphan.
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		if tbl := t.db.tables[u.table]; tbl != nil {
+			tbl.deleteRow(u.rowID)
+			t.db.stats.RowsInserted--
+		}
+	}
+	t.db.locks.ReleaseAll(t.id)
+	t.db.stats.Rollbacks++
+	t.undo = nil
+	t.active = false
+	return nil
+}

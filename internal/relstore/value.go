@@ -1,0 +1,336 @@
+// Package relstore implements an embedded relational storage engine used as
+// the repository database substrate in this reproduction of the SkyLoader
+// paper (Cai, Aydt, Brunner, SC 2005).
+//
+// The original system loaded the Palomar-Quest catalog into an Oracle 10g
+// server.  relstore stands in for that server: it provides typed tables with
+// primary-key, foreign-key, unique, not-null and check constraints, page-based
+// heap storage, B-tree secondary indexes, a lock manager with a concurrent
+// transaction limit, undo/redo logging, and an LRU buffer cache.  Every
+// operation reports the physical work it performed (pages dirtied, index nodes
+// visited, log bytes written, ...) so that the sqlbatch layer can charge
+// realistic virtual time for it in the discrete-event simulation.
+package relstore
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ColType enumerates the column types supported by the engine.  They mirror
+// the types used by the Palomar-Quest catalog schema: integers (ids, flags,
+// htmid), floating point photometric/astrometric quantities, strings
+// (names, filters), timestamps and booleans.
+type ColType int
+
+const (
+	// TypeInt is a 64-bit signed integer column.
+	TypeInt ColType = iota
+	// TypeFloat is a 64-bit IEEE floating point column.
+	TypeFloat
+	// TypeString is a variable-length string column.
+	TypeString
+	// TypeTime is a timestamp column.
+	TypeTime
+	// TypeBool is a boolean column.
+	TypeBool
+)
+
+// String returns the SQL-ish name of the column type.
+func (t ColType) String() string {
+	switch t {
+	case TypeInt:
+		return "INTEGER"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "VARCHAR"
+	case TypeTime:
+		return "TIMESTAMP"
+	case TypeBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Value is a single column value.  A nil Value represents SQL NULL.  The
+// dynamic type must be one of int64, float64, string, time.Time or bool.
+type Value any
+
+// Row is a tuple of column values in table column order.
+type Row []Value
+
+// Clone returns a copy of the row (values themselves are immutable).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Coerce converts v to the canonical Go representation for column type t.
+// It accepts the common Go numeric types and numeric strings, mirroring the
+// light type conversion a database driver performs.  NULL (nil) passes
+// through unchanged.
+func Coerce(v Value, t ColType) (Value, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch t {
+	case TypeInt:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case int:
+			return int64(x), nil
+		case int32:
+			return int64(x), nil
+		case float64:
+			if x != math.Trunc(x) {
+				return nil, fmt.Errorf("relstore: value %v is not an integer", x)
+			}
+			return int64(x), nil
+		case string:
+			n, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("relstore: cannot parse %q as integer", x)
+			}
+			return n, nil
+		}
+	case TypeFloat:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case float32:
+			return float64(x), nil
+		case int64:
+			return float64(x), nil
+		case int:
+			return float64(x), nil
+		case string:
+			f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+			if err != nil {
+				return nil, fmt.Errorf("relstore: cannot parse %q as float", x)
+			}
+			return f, nil
+		}
+	case TypeString:
+		switch x := v.(type) {
+		case string:
+			return x, nil
+		case fmt.Stringer:
+			return x.String(), nil
+		case int64:
+			return strconv.FormatInt(x, 10), nil
+		case float64:
+			return strconv.FormatFloat(x, 'g', -1, 64), nil
+		}
+	case TypeTime:
+		switch x := v.(type) {
+		case time.Time:
+			return x, nil
+		case string:
+			ts, err := time.Parse(time.RFC3339, strings.TrimSpace(x))
+			if err != nil {
+				return nil, fmt.Errorf("relstore: cannot parse %q as timestamp", x)
+			}
+			return ts, nil
+		case int64:
+			return time.Unix(x, 0).UTC(), nil
+		}
+	case TypeBool:
+		switch x := v.(type) {
+		case bool:
+			return x, nil
+		case int64:
+			return x != 0, nil
+		case string:
+			b, err := strconv.ParseBool(strings.TrimSpace(x))
+			if err != nil {
+				return nil, fmt.Errorf("relstore: cannot parse %q as boolean", x)
+			}
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("relstore: cannot coerce %T value %v to %s", v, v, t)
+}
+
+// CompareValues orders two non-nil values of the same column type.  NULLs sort
+// before every non-NULL value and equal to each other, matching index order
+// semantics.  Values of mismatched dynamic types panic, because they indicate
+// a bug upstream of the index layer (Coerce is applied before storage).
+func CompareValues(a, b Value) int {
+	if a == nil && b == nil {
+		return 0
+	}
+	if a == nil {
+		return -1
+	}
+	if b == nil {
+		return 1
+	}
+	switch x := a.(type) {
+	case int64:
+		y := b.(int64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case float64:
+		y := b.(float64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case string:
+		return strings.Compare(x, b.(string))
+	case bool:
+		y := b.(bool)
+		switch {
+		case !x && y:
+			return -1
+		case x && !y:
+			return 1
+		}
+		return 0
+	case time.Time:
+		y := b.(time.Time)
+		switch {
+		case x.Before(y):
+			return -1
+		case x.After(y):
+			return 1
+		}
+		return 0
+	}
+	panic(fmt.Sprintf("relstore: cannot compare values of type %T", a))
+}
+
+// CompareKeys orders two composite keys element-wise.
+func CompareKeys(a, b []Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := CompareValues(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// EncodeKey renders a composite key as a unique string suitable for use as a
+// hash-map key (primary-key lookups).  The encoding is not order preserving;
+// ordered access goes through the B-tree, which compares typed values.
+func EncodeKey(vals []Value) string {
+	var sb strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			sb.WriteByte(0x1f)
+		}
+		switch x := v.(type) {
+		case nil:
+			sb.WriteString("\x00N")
+		case int64:
+			sb.WriteByte('i')
+			sb.WriteString(strconv.FormatInt(x, 10))
+		case float64:
+			sb.WriteByte('f')
+			sb.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+		case string:
+			sb.WriteByte('s')
+			sb.WriteString(x)
+		case bool:
+			sb.WriteByte('b')
+			if x {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		case time.Time:
+			sb.WriteByte('t')
+			sb.WriteString(strconv.FormatInt(x.UnixNano(), 10))
+		default:
+			panic(fmt.Sprintf("relstore: cannot encode key value of type %T", v))
+		}
+	}
+	return sb.String()
+}
+
+// ValueSize estimates the storage footprint of a value in bytes, used for
+// page-fill and log-volume accounting.
+func ValueSize(v Value) int {
+	switch x := v.(type) {
+	case nil:
+		return 1
+	case int64:
+		return 8
+	case float64:
+		return 8
+	case bool:
+		return 1
+	case time.Time:
+		return 12
+	case string:
+		return 2 + len(x)
+	default:
+		return 16
+	}
+}
+
+// RowSize estimates the storage footprint of a row in bytes.
+func RowSize(r Row) int {
+	n := 4 // row header
+	for _, v := range r {
+		n += ValueSize(v)
+	}
+	return n
+}
+
+// FormatValue renders a value the way the skyload CLI and error messages
+// display it.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case bool:
+		return strconv.FormatBool(x)
+	case time.Time:
+		return x.Format(time.RFC3339)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// RoundTo rounds a float to the given number of decimal places; it is used by
+// the catalog transformer to apply column precision during loading, one of the
+// per-row transformations the paper performs while loading (§3).
+func RoundTo(x float64, places int) float64 {
+	if places < 0 {
+		return x
+	}
+	p := math.Pow(10, float64(places))
+	return math.Round(x*p) / p
+}

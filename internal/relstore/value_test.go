@@ -1,0 +1,183 @@
+package relstore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCoerce(t *testing.T) {
+	ts := time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in      Value
+		typ     ColType
+		want    Value
+		wantErr bool
+	}{
+		{int64(7), TypeInt, int64(7), false},
+		{7, TypeInt, int64(7), false},
+		{int32(7), TypeInt, int64(7), false},
+		{7.0, TypeInt, int64(7), false},
+		{7.5, TypeInt, nil, true},
+		{" 42 ", TypeInt, int64(42), false},
+		{"x", TypeInt, nil, true},
+		{3.25, TypeFloat, 3.25, false},
+		{float32(2), TypeFloat, 2.0, false},
+		{5, TypeFloat, 5.0, false},
+		{"2.5", TypeFloat, 2.5, false},
+		{"abc", TypeFloat, nil, true},
+		{"hello", TypeString, "hello", false},
+		{int64(12), TypeString, "12", false},
+		{ts, TypeTime, ts, false},
+		{"2005-11-12T00:00:00Z", TypeTime, ts, false},
+		{"not a time", TypeTime, nil, true},
+		{true, TypeBool, true, false},
+		{"true", TypeBool, true, false},
+		{int64(0), TypeBool, false, false},
+		{nil, TypeInt, nil, false},
+	}
+	for i, c := range cases {
+		got, err := Coerce(c.in, c.typ)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("case %d: expected error for %v -> %v", i, c.in, c.typ)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("case %d: unexpected error: %v", i, err)
+			continue
+		}
+		if CompareValues(got, c.want) != 0 && got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	if CompareValues(nil, nil) != 0 {
+		t.Error("nil should equal nil")
+	}
+	if CompareValues(nil, int64(1)) != -1 || CompareValues(int64(1), nil) != 1 {
+		t.Error("nil should sort before values")
+	}
+	if CompareValues(int64(1), int64(2)) != -1 || CompareValues(int64(2), int64(1)) != 1 || CompareValues(int64(2), int64(2)) != 0 {
+		t.Error("integer comparison broken")
+	}
+	if CompareValues("a", "b") != -1 {
+		t.Error("string comparison broken")
+	}
+	if CompareValues(false, true) != -1 || CompareValues(true, true) != 0 {
+		t.Error("bool comparison broken")
+	}
+	a := time.Unix(1, 0)
+	b := time.Unix(2, 0)
+	if CompareValues(a, b) != -1 || CompareValues(b, a) != 1 {
+		t.Error("time comparison broken")
+	}
+}
+
+func TestCompareKeys(t *testing.T) {
+	if CompareKeys([]Value{int64(1), "a"}, []Value{int64(1), "b"}) != -1 {
+		t.Error("composite comparison broken")
+	}
+	if CompareKeys([]Value{int64(1)}, []Value{int64(1), "b"}) != -1 {
+		t.Error("shorter prefix should sort first")
+	}
+	if CompareKeys([]Value{int64(2)}, []Value{int64(1), "b"}) != 1 {
+		t.Error("first column should dominate")
+	}
+}
+
+// TestCompareValuesProperty checks antisymmetry and reflexivity of the int and
+// float orderings.
+func TestCompareValuesProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Value(a), Value(b)
+		return CompareValues(x, y) == -CompareValues(y, x) && CompareValues(x, x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		x, y := Value(a), Value(b)
+		return CompareValues(x, y) == -CompareValues(y, x)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeKeyInjective checks that distinct int pairs never collide.
+func TestEncodeKeyInjective(t *testing.T) {
+	f := func(a1, a2, b1, b2 int64) bool {
+		ka := EncodeKey([]Value{a1, a2})
+		kb := EncodeKey([]Value{b1, b2})
+		if a1 == b1 && a2 == b2 {
+			return ka == kb
+		}
+		return ka != kb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeKeyTypesDistinct(t *testing.T) {
+	if EncodeKey([]Value{int64(1)}) == EncodeKey([]Value{"1"}) {
+		t.Error("int and string encodings must differ")
+	}
+	if EncodeKey([]Value{nil}) == EncodeKey([]Value{""}) {
+		t.Error("nil and empty string encodings must differ")
+	}
+}
+
+func TestRowSizeAndValueSize(t *testing.T) {
+	row := Row{int64(1), 2.5, "abc", nil, true}
+	if got := RowSize(row); got != 4+8+8+(2+3)+1+1 {
+		t.Errorf("RowSize = %d", got)
+	}
+	if ValueSize(time.Now()) != 12 {
+		t.Error("time size should be 12")
+	}
+}
+
+func TestRoundTo(t *testing.T) {
+	if RoundTo(3.14159, 2) != 3.14 {
+		t.Errorf("RoundTo(3.14159,2) = %v", RoundTo(3.14159, 2))
+	}
+	if RoundTo(2.5, 0) != 3 {
+		t.Errorf("RoundTo(2.5,0) = %v", RoundTo(2.5, 0))
+	}
+	if RoundTo(1.23456, -1) != 1.23456 {
+		t.Error("negative places should be a no-op")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[string]Value{
+		"NULL": nil,
+		"42":   int64(42),
+		"2.5":  2.5,
+		"abc":  "abc",
+		"true": true,
+	}
+	for want, v := range cases {
+		if got := FormatValue(v); got != want {
+			t.Errorf("FormatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{int64(1), "x"}
+	c := r.Clone()
+	c[0] = int64(2)
+	if r[0] != int64(1) {
+		t.Error("Clone did not copy")
+	}
+}

@@ -1,0 +1,60 @@
+package relstore
+
+// WAL models the redo log.  The engine is in-memory, so the log exists for
+// cost accounting and for reasoning about the commit-frequency trade-off the
+// paper describes in §4.5.2: committing rarely avoids per-commit processing
+// but lets redo/undo volume grow between commits.
+type WAL struct {
+	records        int64
+	bytes          int64
+	commits        int64
+	bytesSinceSync int64
+	maxUnsynced    int64
+}
+
+// NewWAL returns an empty redo log.
+func NewWAL() *WAL { return &WAL{} }
+
+// AppendInsert records a redo entry of the given payload size and returns the
+// number of log bytes written (payload plus a fixed record header).
+func (w *WAL) AppendInsert(payloadBytes int) int {
+	const header = 28
+	n := payloadBytes + header
+	w.records++
+	w.bytes += int64(n)
+	w.bytesSinceSync += int64(n)
+	if w.bytesSinceSync > w.maxUnsynced {
+		w.maxUnsynced = w.bytesSinceSync
+	}
+	return n
+}
+
+// AppendCommit records a commit marker and a log sync; it returns the number
+// of unsynced bytes that the sync had to force to disk.
+func (w *WAL) AppendCommit() int64 {
+	const marker = 48
+	w.records++
+	w.bytes += marker
+	w.commits++
+	forced := w.bytesSinceSync + marker
+	w.bytesSinceSync = 0
+	return forced
+}
+
+// WALStats is a snapshot of redo-log counters.
+type WALStats struct {
+	Records          int64
+	Bytes            int64
+	Commits          int64
+	MaxUnsyncedBytes int64
+}
+
+// Stats returns a snapshot of the log counters.
+func (w *WAL) Stats() WALStats {
+	return WALStats{
+		Records:          w.records,
+		Bytes:            w.bytes,
+		Commits:          w.commits,
+		MaxUnsyncedBytes: w.maxUnsynced,
+	}
+}

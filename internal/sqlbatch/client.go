@@ -1,0 +1,210 @@
+package sqlbatch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"skyloader/internal/des"
+	"skyloader/internal/relstore"
+)
+
+// ErrNoTransaction is returned when a statement executes without an active
+// transaction on its connection.
+var ErrNoTransaction = errors.New("sqlbatch: no active transaction")
+
+// ErrBatchEmpty is returned when ExecuteBatch is called with an empty batch.
+var ErrBatchEmpty = errors.New("sqlbatch: batch is empty")
+
+// BatchResult describes the outcome of one ExecuteBatch call.
+//
+// Its semantics mirror the JDBC core API the paper used: rows are applied in
+// order; at the first constraint violation the batch stops, the remaining
+// rows are discarded, and the batch cannot be re-applied.  The caller learns
+// the index of the failing row and is responsible for repacking and resending
+// the remainder (which is exactly what the paper's batch_row procedure does).
+type BatchResult struct {
+	// RowsInserted is the number of rows applied before the failure (all of
+	// them when Err is nil).
+	RowsInserted int
+	// FailedIndex is the zero-based index of the failing row, or -1.
+	FailedIndex int
+	// Err is the constraint violation that stopped the batch, or nil.
+	Err error
+	// LockWaits and LongStalls count contention events charged to the call.
+	LockWaits  int
+	LongStalls int
+	// Report is the engine's physical-work report for the call.
+	Report relstore.OpReport
+}
+
+// Conn is a loader connection bound to one simulation process.
+type Conn struct {
+	server *Server
+	proc   *des.Proc
+	txn    *relstore.Txn
+	closed bool
+
+	stats ConnStats
+}
+
+// ConnStats aggregates per-connection counters.
+type ConnStats struct {
+	Calls        int64
+	RowsInserted int64
+	RowsFailed   int64
+	Batches      int64
+	Commits      int64
+	LockWaits    int64
+	LongStalls   int64
+}
+
+// Proc returns the simulation process this connection belongs to.
+func (c *Conn) Proc() *des.Proc { return c.proc }
+
+// Server returns the server this connection talks to.
+func (c *Conn) Server() *Server { return c.server }
+
+// Stats returns the per-connection counters.
+func (c *Conn) Stats() ConnStats { return c.stats }
+
+// InTransaction reports whether the connection has an active transaction.
+func (c *Conn) InTransaction() bool { return c.txn != nil && c.txn.Active() }
+
+// Begin starts a transaction, waiting for a server transaction slot if the
+// concurrent-transaction limit has been reached.
+func (c *Conn) Begin() error {
+	if c.closed {
+		return fmt.Errorf("sqlbatch: connection closed")
+	}
+	if c.InTransaction() {
+		return fmt.Errorf("sqlbatch: transaction already active")
+	}
+	txn, err := c.server.begin(c.proc)
+	if err != nil {
+		return err
+	}
+	c.txn = txn
+	return nil
+}
+
+// Commit makes the current transaction durable.
+func (c *Conn) Commit() error {
+	if !c.InTransaction() {
+		return ErrNoTransaction
+	}
+	_, err := c.server.finish(c.proc, c.txn, true)
+	c.txn = nil
+	if err == nil {
+		c.stats.Commits++
+	}
+	return err
+}
+
+// Rollback abandons the current transaction.
+func (c *Conn) Rollback() error {
+	if !c.InTransaction() {
+		return ErrNoTransaction
+	}
+	_, err := c.server.finish(c.proc, c.txn, false)
+	c.txn = nil
+	return err
+}
+
+// Close releases the connection; an active transaction is rolled back.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	if c.InTransaction() {
+		if err := c.Rollback(); err != nil {
+			return err
+		}
+	}
+	c.closed = true
+	return nil
+}
+
+// Prepare creates an insert statement for the given table and column list.
+func (c *Conn) Prepare(table string, columns []string) *Stmt {
+	cols := make([]string, len(columns))
+	copy(cols, columns)
+	return &Stmt{conn: c, table: table, columns: cols}
+}
+
+// Stmt is a prepared insert statement with an accumulating batch.
+type Stmt struct {
+	conn    *Conn
+	table   string
+	columns []string
+	batch   [][]relstore.Value
+}
+
+// Table returns the destination table name.
+func (s *Stmt) Table() string { return s.table }
+
+// Columns returns the statement's column list.
+func (s *Stmt) Columns() []string { return s.columns }
+
+// BatchLen returns the number of rows currently queued in the batch.
+func (s *Stmt) BatchLen() int { return len(s.batch) }
+
+// AddBatch queues one row of values (matching the statement's column list)
+// for the next ExecuteBatch call.
+func (s *Stmt) AddBatch(values []relstore.Value) {
+	row := make([]relstore.Value, len(values))
+	copy(row, values)
+	s.batch = append(s.batch, row)
+}
+
+// ClearBatch discards any queued rows.
+func (s *Stmt) ClearBatch() { s.batch = nil }
+
+// ExecuteBatch sends the queued rows to the server in one database call and
+// clears the batch.  See BatchResult for the error semantics.
+func (s *Stmt) ExecuteBatch() (BatchResult, error) {
+	if len(s.batch) == 0 {
+		return BatchResult{FailedIndex: -1}, ErrBatchEmpty
+	}
+	if !s.conn.InTransaction() {
+		return BatchResult{FailedIndex: -1}, ErrNoTransaction
+	}
+	rows := s.batch
+	s.batch = nil
+	res := s.conn.server.execBatch(s.conn.proc, s.conn.txn, s.table, s.columns, rows)
+	s.conn.stats.Calls++
+	s.conn.stats.Batches++
+	s.conn.stats.RowsInserted += int64(res.RowsInserted)
+	s.conn.stats.LockWaits += int64(res.LockWaits)
+	s.conn.stats.LongStalls += int64(res.LongStalls)
+	if res.Err != nil {
+		s.conn.stats.RowsFailed++
+	}
+	return res, nil
+}
+
+// ExecuteSingle inserts one row in its own database call (the non-bulk
+// baseline path).
+func (s *Stmt) ExecuteSingle(values []relstore.Value) (BatchResult, error) {
+	if !s.conn.InTransaction() {
+		return BatchResult{FailedIndex: -1}, ErrNoTransaction
+	}
+	row := make([]relstore.Value, len(values))
+	copy(row, values)
+	res := s.conn.server.execBatch(s.conn.proc, s.conn.txn, s.table, s.columns, [][]relstore.Value{row})
+	s.conn.stats.Calls++
+	s.conn.stats.RowsInserted += int64(res.RowsInserted)
+	s.conn.stats.LockWaits += int64(res.LockWaits)
+	s.conn.stats.LongStalls += int64(res.LongStalls)
+	if res.Err != nil {
+		s.conn.stats.RowsFailed++
+	}
+	return res, nil
+}
+
+// ChargeClientCPU charges d of client-side (cluster node) processing time to
+// the connection's process.  The loader uses it for parse/transform/buffer
+// work so that client costs and server costs share one virtual clock.
+func (c *Conn) ChargeClientCPU(d time.Duration) {
+	c.proc.Hold(d)
+}

@@ -1,0 +1,98 @@
+package tuning
+
+import (
+	"testing"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/relstore"
+)
+
+func newDB(t *testing.T) *relstore.DB {
+	t.Helper()
+	return relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+}
+
+func indexNames(db *relstore.DB) []string {
+	var names []string
+	for _, ix := range db.AllIndexes() {
+		names = append(names, ix.Name)
+	}
+	return names
+}
+
+func TestApplyIndexPolicies(t *testing.T) {
+	db := newDB(t)
+	if err := ApplyIndexPolicy(db, NoIndexes); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(indexNames(db)); n != 0 {
+		t.Fatalf("NoIndexes left %d indexes", n)
+	}
+	if err := ApplyIndexPolicy(db, HTMIDOnly); err != nil {
+		t.Fatal(err)
+	}
+	names := indexNames(db)
+	if len(names) != 1 || names[0] != HTMIDIndexName {
+		t.Fatalf("HTMIDOnly indexes = %v", names)
+	}
+	if err := ApplyIndexPolicy(db, HTMIDPlusComposite); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(indexNames(db)); n != 2 {
+		t.Fatalf("HTMIDPlusComposite indexes = %v", indexNames(db))
+	}
+	// Applying a policy twice is idempotent.
+	if err := ApplyIndexPolicy(db, HTMIDPlusComposite); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(indexNames(db)); n != 2 {
+		t.Fatalf("idempotent apply broke indexes: %v", indexNames(db))
+	}
+	// Going back down drops the composite.
+	if err := ApplyIndexPolicy(db, HTMIDOnly); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(indexNames(db)); n != 1 {
+		t.Fatalf("downgrade left %v", indexNames(db))
+	}
+	if err := ApplyIndexPolicy(db, IndexPolicy(42)); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
+
+func TestIndexPolicyString(t *testing.T) {
+	if NoIndexes.String() != "no-indexes" || HTMIDOnly.String() != "htmid-only" || HTMIDPlusComposite.String() != "htmid+composite" {
+		t.Fatal("String names wrong")
+	}
+	if IndexPolicy(9).String() == "" {
+		t.Fatal("unknown policy should still render")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	prod := ProductionLoading()
+	if prod.Indexes != HTMIDOnly || prod.CommitEveryBatches != 0 || !prod.SeparateRAID {
+		t.Fatalf("production profile: %+v", prod)
+	}
+	unt := Untuned()
+	if unt.Indexes != HTMIDPlusComposite || unt.CommitEveryBatches == 0 || unt.SeparateRAID {
+		t.Fatalf("untuned profile: %+v", unt)
+	}
+	qs := QueryServing()
+	if qs.CachePages <= prod.CachePages {
+		t.Fatalf("query-serving cache should be larger: %+v", qs)
+	}
+	if prod.DBConfig().CachePages != prod.CachePages {
+		t.Fatal("DBConfig does not carry cache size")
+	}
+	if unt.ServerConfig().SeparateRAID {
+		t.Fatal("ServerConfig does not carry RAID layout")
+	}
+	db := newDB(t)
+	if err := prod.Apply(db); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(indexNames(db)); n != 1 {
+		t.Fatalf("Apply(production) indexes = %v", indexNames(db))
+	}
+}
