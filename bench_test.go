@@ -231,7 +231,7 @@ func BenchmarkBTreeInsert(b *testing.B) {
 	bt := relstore.NewBTree(32)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		bt.Insert([]relstore.Value{int64(i * 2654435761 % 1000003)}, int64(i))
+		bt.Insert([]relstore.Value{relstore.Int(int64(i * 2654435761 % 1000003))}, int64(i))
 	}
 }
 
@@ -283,7 +283,7 @@ func BenchmarkArraySetAdd(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		full, _, err := set.Add(catalog.TObjects, cols,
-			[]relstore.Value{int64(i), int64(1), 10.0, 10.0, 18.0}, i)
+			[]relstore.Value{relstore.Int(int64(i)), relstore.Int(1), relstore.Float(10.0), relstore.Float(10.0), relstore.Float(18.0)}, i)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -308,7 +308,7 @@ func BenchmarkRelstoreInsert(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		vals := []relstore.Value{int64(i + 10), int64(1), int64(1), 53600.5, 120.0, 10.0, 1.2, "R", 140.0}
+		vals := []relstore.Value{relstore.Int(int64(i + 10)), relstore.Int(1), relstore.Int(1), relstore.Float(53600.5), relstore.Float(120.0), relstore.Float(10.0), relstore.Float(1.2), relstore.Str("R"), relstore.Float(140.0)}
 		if _, err := txn.Insert(catalog.TObservations, cols, vals); err != nil {
 			b.Fatal(err)
 		}

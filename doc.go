@@ -21,6 +21,18 @@
 // binaries under cmd/ (skygen, skyload, skybench) expose the same
 // functionality on the command line, and examples/ contains runnable
 // walk-throughs.  See README.md, DESIGN.md and EXPERIMENTS.md.
+//
+// # Row representation and the zero-allocation insert path
+//
+// Column values move through the system as relstore.Value, a compact tagged
+// struct (kind tag + int64 + float64 + string fields) rather than a boxed
+// interface, so building and storing a row performs no per-value heap
+// allocation.  Composite keys are encoded with relstore.AppendKey into
+// reusable scratch buffers following the strconv append convention; hash-map
+// probes use m[string(buf)], which the compiler evaluates without copying,
+// and only keys that are actually stored materialize a string.  PERFORMANCE.md
+// describes the conventions and records the measured effect (BENCH_rowpath.json
+// holds the before/after numbers).
 package skyloader
 
 // Version identifies this reproduction release.

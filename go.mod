@@ -1,0 +1,3 @@
+module skyloader
+
+go 1.22

@@ -123,10 +123,10 @@ func TestEndToEndThroughFiles(t *testing.T) {
 		someHTMID = r[idx]
 		return false
 	})
-	if someHTMID == nil {
+	if someHTMID.IsNull() {
 		t.Fatal("no object carries an htmid")
 	}
-	if _, err := htm.Name(someHTMID.(int64)); err != nil {
+	if _, err := htm.Name(someHTMID.Int()); err != nil {
 		t.Fatalf("stored htmid invalid: %v", err)
 	}
 	rows, _, err := db.SelectEqualIndexed(catalog.TObjects, tuning.HTMIDIndexName, []relstore.Value{someHTMID})

@@ -20,7 +20,7 @@ func newSet(t *testing.T, cfg Config) *ArraySet {
 
 func objRow(id int64) ([]string, []relstore.Value) {
 	return []string{"object_id", "frame_id", "ra", "dec", "mag"},
-		[]relstore.Value{id, int64(1), 10.0, 10.0, 18.0}
+		[]relstore.Value{relstore.Int(id), relstore.Int(1), relstore.Float(10.0), relstore.Float(10.0), relstore.Float(18.0)}
 }
 
 func TestAddCreatesArraysOnDemand(t *testing.T) {
@@ -48,7 +48,7 @@ func TestAddCreatesArraysOnDemand(t *testing.T) {
 
 func TestAddUnknownTable(t *testing.T) {
 	s := newSet(t, Config{ArraySize: 10})
-	if _, _, err := s.Add("not_a_table", []string{"x"}, []relstore.Value{int64(1)}, 1); err == nil {
+	if _, _, err := s.Add("not_a_table", []string{"x"}, []relstore.Value{relstore.Int(1)}, 1); err == nil {
 		t.Fatal("unknown table should error")
 	}
 }
@@ -78,7 +78,7 @@ func TestPerTableSizeOverride(t *testing.T) {
 	}
 	// Other tables still use the default.
 	fcols := []string{"frame_id", "ccd_col_id", "frame_number", "mjd_start", "exposure_s"}
-	fvals := []relstore.Value{int64(1), int64(1), int64(0), 53000.0, 145.0}
+	fvals := []relstore.Value{relstore.Int(1), relstore.Int(1), relstore.Int(0), relstore.Float(53000.0), relstore.Float(145.0)}
 	full, _, _ = s.Add(catalog.TCCDFrames, fcols, fvals, 3)
 	if full {
 		t.Fatal("default-size table reported full too early")
@@ -110,12 +110,12 @@ func TestFlushOrderParentsFirst(t *testing.T) {
 	// Add children before parents to prove the order comes from the schema,
 	// not from insertion order.
 	fngCols := []string{"finger_id", "object_id", "finger_number", "flux"}
-	fngVals := []relstore.Value{int64(1), int64(1), int64(1), 10.0}
+	fngVals := []relstore.Value{relstore.Int(1), relstore.Int(1), relstore.Int(1), relstore.Float(10.0)}
 	s.Add(catalog.TObjectFingers, fngCols, fngVals, 1)
 	cols, vals := objRow(1)
 	s.Add(catalog.TObjects, cols, vals, 2)
 	frmCols := []string{"frame_id", "ccd_col_id", "frame_number", "mjd_start", "exposure_s"}
-	frmVals := []relstore.Value{int64(1), int64(1), int64(0), 53000.0, 145.0}
+	frmVals := []relstore.Value{relstore.Int(1), relstore.Int(1), relstore.Int(0), relstore.Float(53000.0), relstore.Float(145.0)}
 	s.Add(catalog.TCCDFrames, frmCols, frmVals, 3)
 
 	order := s.FlushOrder()
@@ -191,7 +191,7 @@ func TestFlushOrderIsTopologicalProperty(t *testing.T) {
 			cols := ts.ColumnNames()
 			vals := make([]relstore.Value, len(cols))
 			for i := range vals {
-				vals[i] = rng.Int63()
+				vals[i] = relstore.Int(rng.Int63())
 			}
 			if _, _, err := s.Add(table, cols, vals, 0); err != nil {
 				return false

@@ -1,0 +1,29 @@
+package arrayset
+
+import (
+	"testing"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/relstore"
+)
+
+// BenchmarkArraySetAddFlush measures the steady-state client-side buffering
+// cost per row, including the periodic Drain that destroys and recreates the
+// arrays at the end of each flush cycle (paper §4.3).
+func BenchmarkArraySetAddFlush(b *testing.B) {
+	schema := catalog.NewSchema()
+	set := MustNew(schema, Config{ArraySize: 1000})
+	cols := []string{"object_id", "frame_id", "ra", "dec", "mag"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals := []relstore.Value{relstore.Int(int64(i)), relstore.Int(1), relstore.Float(10.0), relstore.Float(10.0), relstore.Float(18.0)}
+		full, _, err := set.Add(catalog.TObjects, cols, vals, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if full {
+			set.Drain()
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package catalog
+
+import (
+	"testing"
+)
+
+// BenchmarkCatalogParse measures the parse+transform cost per catalog line —
+// the client-side work of §3 (type conversion, precision adjustment, derived
+// htmid/unit-vector computation) that precedes buffering.
+func BenchmarkCatalogParse(b *testing.B) {
+	schema := NewSchema()
+	tr := NewTransformer(schema)
+	file := Generate(GenSpec{SizeMB: 10, Seed: 1})
+	lines := make([]string, len(file.Records))
+	for i, rec := range file.Records {
+		lines[i] = rec.Format()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := ParseLine(lines[i%len(lines)], i+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tr.Transform(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

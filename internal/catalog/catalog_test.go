@@ -346,7 +346,7 @@ func TestTransformBasicTags(t *testing.T) {
 	if row.Table != TObjectFingers || len(row.Columns) != 6 || len(row.Values) != 6 {
 		t.Fatalf("row = %+v", row)
 	}
-	if row.Values[0].(int64) != 10 || row.Values[3].(float64) != 100.5 {
+	if row.Values[0] != relstore.Int(10) || row.Values[3] != relstore.Float(100.5) {
 		t.Fatalf("values = %v", row.Values)
 	}
 	if row.Bytes != rec.Bytes() {
@@ -363,11 +363,11 @@ func TestTransformNullAndPrecision(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seeing := row.Values[5].(float64)
+	seeing := row.Values[5].Float()
 	if seeing != 1.23 {
 		t.Fatalf("precision not applied: %v", seeing)
 	}
-	if row.Values[6] != nil {
+	if !row.Values[6].IsNull() {
 		t.Fatalf("empty field should be NULL, got %v", row.Values[6])
 	}
 }
@@ -383,13 +383,13 @@ func TestTransformObjectDerivedColumns(t *testing.T) {
 	if len(row.Columns) != 13 {
 		t.Fatalf("object columns = %d, want 13 (9 raw + htmid/cx/cy/cz)", len(row.Columns))
 	}
-	htmid, ok := row.Values[9].(int64)
-	if !ok || htmid < 8 {
+	htmid := row.Values[9]
+	if htmid.Kind != relstore.KindInt || htmid.I < 8 {
 		t.Fatalf("htmid = %v", row.Values[9])
 	}
-	cx := row.Values[10].(float64)
-	cy := row.Values[11].(float64)
-	cz := row.Values[12].(float64)
+	cx := row.Values[10].Float()
+	cy := row.Values[11].Float()
+	cz := row.Values[12].Float()
 	norm := cx*cx + cy*cy + cz*cz
 	if norm < 0.999 || norm > 1.001 {
 		t.Fatalf("unit vector norm^2 = %v", norm)
@@ -418,7 +418,7 @@ func TestTransformErrors(t *testing.T) {
 	if err != nil {
 		t.Fatalf("out-of-range dec should not fail the transform: %v", err)
 	}
-	if row.Values[9] != nil {
+	if !row.Values[9].IsNull() {
 		t.Fatalf("htmid for invalid position = %v, want NULL", row.Values[9])
 	}
 }

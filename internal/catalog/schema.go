@@ -391,46 +391,46 @@ func SeedReference(txn *relstore.Txn, numRuns int) error {
 	}
 	if err := ins(TTelescopes,
 		[]string{"telescope_id", "name", "site", "aperture_m"},
-		[]relstore.Value{int64(1), "Oschin 48-inch Schmidt", "Palomar Observatory", 1.22}); err != nil {
+		[]relstore.Value{relstore.Int(1), relstore.Str("Oschin 48-inch Schmidt"), relstore.Str("Palomar Observatory"), relstore.Float(1.22)}); err != nil {
 		return err
 	}
 	if err := ins(TInstruments,
 		[]string{"instrument_id", "telescope_id", "name", "num_ccds"},
-		[]relstore.Value{int64(1), int64(1), "QUEST-II Camera", int64(NumCCDsPerInstrument)}); err != nil {
+		[]relstore.Value{relstore.Int(1), relstore.Int(1), relstore.Str("QUEST-II Camera"), relstore.Int(NumCCDsPerInstrument)}); err != nil {
 		return err
 	}
 	for i := 1; i <= NumCCDsPerInstrument; i++ {
 		if err := ins(TCCDs,
 			[]string{"ccd_id", "instrument_id", "ccd_number", "cols", "rows", "pixel_scale"},
-			[]relstore.Value{int64(i), int64(1), int64(i), int64(600), int64(2400), 0.87}); err != nil {
+			[]relstore.Value{relstore.Int(int64(i)), relstore.Int(1), relstore.Int(int64(i)), relstore.Int(600), relstore.Int(2400), relstore.Float(0.87)}); err != nil {
 			return err
 		}
 	}
 	for i, name := range FilterNames {
 		if err := ins(TFilters,
 			[]string{"filter_id", "name", "wavelength_nm", "bandwidth_nm"},
-			[]relstore.Value{int64(i + 1), name, 350.0 + 60*float64(i), 80.0}); err != nil {
+			[]relstore.Value{relstore.Int(int64(i + 1)), relstore.Str(name), relstore.Float(350.0 + 60*float64(i)), relstore.Float(80.0)}); err != nil {
 			return err
 		}
 	}
 	for r := 1; r <= numRuns; r++ {
 		if err := ins(TObservingRuns,
 			[]string{"run_id", "telescope_id", "night", "observer"},
-			[]relstore.Value{int64(r), int64(1), nightName(r), "QUEST robotic scheduler"}); err != nil {
+			[]relstore.Value{relstore.Int(int64(r)), relstore.Int(1), relstore.Str(nightName(r)), relstore.Str("QUEST robotic scheduler")}); err != nil {
 			return err
 		}
 	}
 	for i, v := range []string{"1.0", "1.1", "2.0"} {
 		if err := ins(TPipelineVersions,
 			[]string{"pipeline_id", "name", "version", "notes"},
-			[]relstore.Value{int64(i + 1), "yale-extract", v, nil}); err != nil {
+			[]relstore.Value{relstore.Int(int64(i + 1)), relstore.Str("yale-extract"), relstore.Str(v), relstore.Null}); err != nil {
 			return err
 		}
 	}
 	for i, name := range QualityFlagNames {
 		if err := ins(TQualityFlags,
 			[]string{"flag_id", "name", "description"},
-			[]relstore.Value{int64(i + 1), name, "object quality flag " + name}); err != nil {
+			[]relstore.Value{relstore.Int(int64(i + 1)), relstore.Str(name), relstore.Str("object quality flag " + name)}); err != nil {
 			return err
 		}
 	}

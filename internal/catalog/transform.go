@@ -102,37 +102,37 @@ func (t *Transformer) Transform(rec Record) (TransformedRow, error) {
 func (t *Transformer) convertField(ts *relstore.TableSchema, colName, raw string) (relstore.Value, error) {
 	raw = strings.TrimSpace(raw)
 	if raw == "" {
-		return nil, nil
+		return relstore.Null, nil
 	}
 	idx := ts.ColumnIndex(colName)
 	if idx < 0 {
-		return nil, fmt.Errorf("table %q has no column %q", ts.Name, colName)
+		return relstore.Null, fmt.Errorf("table %q has no column %q", ts.Name, colName)
 	}
 	col := ts.Columns[idx]
 	switch col.Type {
 	case relstore.TypeInt:
 		n, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("not an integer: %q", raw)
+			return relstore.Null, fmt.Errorf("not an integer: %q", raw)
 		}
-		return n, nil
+		return relstore.Int(n), nil
 	case relstore.TypeFloat:
 		f, err := strconv.ParseFloat(raw, 64)
 		if err != nil {
-			return nil, fmt.Errorf("not a float: %q", raw)
+			return relstore.Null, fmt.Errorf("not a float: %q", raw)
 		}
 		if col.Precision > 0 {
 			f = relstore.RoundTo(f, col.Precision)
 		}
-		return f, nil
+		return relstore.Float(f), nil
 	case relstore.TypeBool:
 		b, err := strconv.ParseBool(raw)
 		if err != nil {
-			return nil, fmt.Errorf("not a boolean: %q", raw)
+			return relstore.Null, fmt.Errorf("not a boolean: %q", raw)
 		}
-		return b, nil
+		return relstore.Bool(b), nil
 	default:
-		return raw, nil
+		return relstore.Str(raw), nil
 	}
 }
 
@@ -149,24 +149,25 @@ func (t *Transformer) deriveObjectColumns(rec Record, layout TagLayout, values [
 		}
 	}
 	raV, decV := values[raIdx], values[decIdx]
-	ra, okRA := raV.(float64)
-	dec, okDec := decV.(float64)
-	if !okRA || !okDec {
+	if raV.Kind != relstore.KindFloat || decV.Kind != relstore.KindFloat {
 		return nil, &TransformError{Line: rec.Line, Tag: rec.Tag, Field: "ra/dec",
 			Reason: "object position missing, cannot compute htmid"}
 	}
+	ra, dec := raV.F, decV.F
 	// Positions outside the celestial sphere cannot be assigned an HTM id;
 	// the row is kept (the database check constraint rejects it) with a NULL
 	// htmid so the error surfaces through the normal recovery path.
-	var htmVal relstore.Value
+	htmVal := relstore.Null
 	if ra >= 0 && ra <= 360 && dec >= -90 && dec <= 90 {
 		if id, err := htm.Lookup(ra, dec, t.HTMDepth); err == nil {
-			htmVal = id
+			htmVal = relstore.Int(id)
 		}
 	}
 	vec := htm.FromRaDec(ra, dec)
 	return []relstore.Value{htmVal,
-		relstore.RoundTo(vec.X, 8), relstore.RoundTo(vec.Y, 8), relstore.RoundTo(vec.Z, 8)}, nil
+		relstore.Float(relstore.RoundTo(vec.X, 8)),
+		relstore.Float(relstore.RoundTo(vec.Y, 8)),
+		relstore.Float(relstore.RoundTo(vec.Z, 8))}, nil
 }
 
 // ObjectColumns returns the full column list used for object inserts

@@ -426,7 +426,8 @@ func (l *Loader) insertLoadRun(f *catalog.File) error {
 	stmt := l.conn.Prepare(catalog.TLoadRuns,
 		[]string{"load_run_id", "source_file", "loader_node", "rows_loaded", "rows_skipped"})
 	_, err := stmt.ExecuteSingle([]relstore.Value{
-		l.nextLoadRunID, f.Name, int64(l.cfg.LoaderNode), nil, nil})
+		relstore.Int(l.nextLoadRunID), relstore.Str(f.Name), relstore.Int(int64(l.cfg.LoaderNode)),
+		relstore.Null, relstore.Null})
 	if err != nil {
 		return err
 	}
@@ -444,5 +445,6 @@ func (l *Loader) insertLoadError(table string, line int, cause error) {
 	stmt := l.conn.Prepare(catalog.TLoadErrors,
 		[]string{"load_error_id", "load_run_id", "line_number", "target_table", "reason"})
 	_, _ = stmt.ExecuteSingle([]relstore.Value{
-		l.nextLoadErrID, l.nextLoadRunID, int64(line), table, reason})
+		relstore.Int(l.nextLoadErrID), relstore.Int(l.nextLoadRunID), relstore.Int(int64(line)),
+		relstore.Str(table), relstore.Str(reason)})
 }

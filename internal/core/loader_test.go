@@ -91,7 +91,7 @@ func TestLoadCleanFile(t *testing.T) {
 	bad := 0
 	_ = db.Scan(catalog.TObjects, func(r relstore.Row) bool {
 		ts := db.Schema().Table(catalog.TObjects)
-		if r[ts.ColumnIndex("htmid")] == nil {
+		if r[ts.ColumnIndex("htmid")].IsNull() {
 			bad++
 		}
 		return true

@@ -47,23 +47,23 @@ type Object struct {
 func decodeObject(ts *relstore.TableSchema, r relstore.Row) Object {
 	get := func(col string) relstore.Value { return r[ts.ColumnIndex(col)] }
 	obj := Object{}
-	if v, ok := get("object_id").(int64); ok {
-		obj.ObjectID = v
+	if v := get("object_id"); v.Kind == relstore.KindInt {
+		obj.ObjectID = v.I
 	}
-	if v, ok := get("frame_id").(int64); ok {
-		obj.FrameID = v
+	if v := get("frame_id"); v.Kind == relstore.KindInt {
+		obj.FrameID = v.I
 	}
-	if v, ok := get("ra").(float64); ok {
-		obj.RA = v
+	if v := get("ra"); v.Kind == relstore.KindFloat {
+		obj.RA = v.F
 	}
-	if v, ok := get("dec").(float64); ok {
-		obj.Dec = v
+	if v := get("dec"); v.Kind == relstore.KindFloat {
+		obj.Dec = v.F
 	}
-	if v, ok := get("htmid").(int64); ok {
-		obj.HTMID = v
+	if v := get("htmid"); v.Kind == relstore.KindInt {
+		obj.HTMID = v.I
 	}
-	if v, ok := get("mag").(float64); ok {
-		obj.Mag = v
+	if v := get("mag"); v.Kind == relstore.KindFloat {
+		obj.Mag = v.F
 	}
 	return obj
 }
@@ -120,7 +120,7 @@ func ConeSearch(db *relstore.DB, raDeg, decDeg, radiusDeg float64) ([]Object, St
 	index := db.Table(catalog.TObjects).Index(tuning.HTMIDIndexName)
 	if index == nil {
 		// Full scan fallback.
-		err := db.Scan(catalog.TObjects, func(r relstore.Row) bool {
+		err := db.ScanRef(catalog.TObjects, func(r relstore.Row) bool {
 			stats.RowsExamined++
 			obj := decodeObject(ts, r)
 			if angularDistanceDeg(raDeg, decDeg, obj.RA, obj.Dec) <= radiusDeg {
@@ -172,7 +172,7 @@ func ConeSearch(db *relstore.DB, raDeg, decDeg, radiusDeg float64) ([]Object, St
 		lo := trixel << shift
 		hi := ((trixel + 1) << shift) - 1
 		rows, err := db.RangeIndexed(catalog.TObjects, tuning.HTMIDIndexName,
-			[]relstore.Value{lo}, []relstore.Value{hi}, 0)
+			[]relstore.Value{relstore.Int(lo)}, []relstore.Value{relstore.Int(hi)}, 0)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -195,7 +195,7 @@ func ConeSearch(db *relstore.DB, raDeg, decDeg, radiusDeg float64) ([]Object, St
 // ObjectByID returns the object with the given primary key, or nil.
 func ObjectByID(db *relstore.DB, objectID int64) (*Object, error) {
 	ts := db.Schema().Table(catalog.TObjects)
-	row, err := db.LookupByPK(catalog.TObjects, []relstore.Value{objectID})
+	row, err := db.LookupByPK(catalog.TObjects, []relstore.Value{relstore.Int(objectID)})
 	if err != nil || row == nil {
 		return nil, err
 	}
@@ -209,9 +209,9 @@ func ObjectsOnFrame(db *relstore.DB, frameID int64) ([]Object, Stats, error) {
 	frameIdx := ts.ColumnIndex("frame_id")
 	var out []Object
 	var stats Stats
-	err := db.Scan(catalog.TObjects, func(r relstore.Row) bool {
+	err := db.ScanRef(catalog.TObjects, func(r relstore.Row) bool {
 		stats.RowsExamined++
-		if v, ok := r[frameIdx].(int64); ok && v == frameID {
+		if v := r[frameIdx]; v.Kind == relstore.KindInt && v.I == frameID {
 			out = append(out, decodeObject(ts, r))
 		}
 		return true
@@ -236,9 +236,9 @@ func MagnitudeHistogram(db *relstore.DB, binWidth float64) ([]MagnitudeBin, erro
 	ts := db.Schema().Table(catalog.TObjects)
 	magIdx := ts.ColumnIndex("mag")
 	counts := map[int64]int64{}
-	err := db.Scan(catalog.TObjects, func(r relstore.Row) bool {
-		if v, ok := r[magIdx].(float64); ok {
-			counts[int64(math.Floor(v/binWidth))]++
+	err := db.ScanRef(catalog.TObjects, func(r relstore.Row) bool {
+		if v := r[magIdx]; v.Kind == relstore.KindFloat {
+			counts[int64(math.Floor(v.F/binWidth))]++
 		}
 		return true
 	})
@@ -285,13 +285,12 @@ func VariabilityCandidates(db *relstore.DB, matchDepth int) (map[int64][]int64, 
 		frameID  int64
 	}
 	groups := map[int64][]member{}
-	err := db.Scan(catalog.TObjects, func(r relstore.Row) bool {
-		id, ok1 := r[htmIdx].(int64)
-		oid, ok2 := r[idIdx].(int64)
-		fid, ok3 := r[frameIdx].(int64)
-		if !ok1 || !ok2 || !ok3 {
+	err := db.ScanRef(catalog.TObjects, func(r relstore.Row) bool {
+		hv, ov, fv := r[htmIdx], r[idIdx], r[frameIdx]
+		if hv.Kind != relstore.KindInt || ov.Kind != relstore.KindInt || fv.Kind != relstore.KindInt {
 			return true
 		}
+		id, oid, fid := hv.I, ov.I, fv.I
 		key := id >> shift
 		groups[key] = append(groups[key], member{objectID: oid, frameID: fid})
 		return true

@@ -1,0 +1,60 @@
+package relstore
+
+import (
+	"testing"
+)
+
+// TestAppendKeyZeroAlloc pins the zero-allocation property of the
+// scratch-buffer key encoding: once the buffer has capacity, encoding a
+// composite key must not touch the heap.
+func TestAppendKeyZeroAlloc(t *testing.T) {
+	key := []Value{Int(123456789), Float(53600.5), Str("R"), Bool(true), Null}
+	buf := make([]byte, 0, 128)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = AppendKey(buf[:0], key)
+		if len(buf) == 0 {
+			t.Fatal("empty encoding")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendKey allocates %.1f times per key, want 0", allocs)
+	}
+}
+
+// TestInsertPreparedAllocBudget pins the allocation budget of the insert hot
+// path so the zero-allocation work cannot silently rot.  A stored row
+// legitimately pays for: the row slice itself (it lives in the heap page),
+// one encoded-key string per hash index that stores it (primary key plus each
+// unique constraint), and amortized container growth.  The boxed-interface
+// representation this replaced needed ~14 allocations per insert on the same
+// table; the budget below leaves room for amortized map/slice growth only.
+func TestInsertPreparedAllocBudget(t *testing.T) {
+	db, err := NewDB(testSchema(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("fingers", "ix_flux", []string{"flux"}, false); err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.Table("fingers")
+	var id int64
+	// Warm the table so steady-state growth is amortized.
+	for ; id < 4096; id++ {
+		row := Row{Int(id), Int(id), Float(float64(id % 64))}
+		if _, _, err := tbl.insertPrepared(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(4096, func() {
+		id++
+		row := Row{Int(id), Int(id), Float(float64(id % 64))}
+		if _, _, err := tbl.insertPrepared(row); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 1 row + 1 pk string + 1 unique string = 3, plus amortized growth slack.
+	const budget = 6.0
+	if allocs > budget {
+		t.Errorf("insertPrepared allocates %.2f times per row, budget %v", allocs, budget)
+	}
+}

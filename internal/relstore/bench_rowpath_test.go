@@ -1,0 +1,62 @@
+package relstore
+
+import (
+	"testing"
+)
+
+// benchInsertDB builds a database whose "fingers" table exercises every key
+// path of insertPrepared: primary key, a composite unique constraint, and one
+// secondary B-tree index.
+func benchInsertDB(b *testing.B) (*DB, *Table) {
+	b.Helper()
+	db, err := NewDB(testSchema(b), Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.CreateIndex("fingers", "ix_flux", []string{"flux"}, false); err != nil {
+		b.Fatal(err)
+	}
+	return db, db.Table("fingers")
+}
+
+// BenchmarkInsertPrepared measures the engine-internal insert path (constraint
+// checks, key encoding, heap append, PK/unique hash maintenance, secondary
+// index insert) without transaction, WAL or cache overhead.  This is the
+// per-row cost the paper's array-set batching exists to amortize.
+func BenchmarkInsertPrepared(b *testing.B) {
+	_, tbl := benchInsertDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := Row{Int(int64(i)), Int(int64(i)), Float(float64(i % 4096))}
+		if _, _, err := tbl.insertPrepared(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeKey measures primary-key encoding, the string the PK and
+// unique hash maps are keyed by.
+func BenchmarkEncodeKey(b *testing.B) {
+	key := []Value{Int(123456789), Float(53600.5)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if EncodeKey(key) == "" {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+// BenchmarkAppendKey measures the scratch-buffer encoding path used by the
+// insert hot path (no result-string materialization).
+func BenchmarkAppendKey(b *testing.B) {
+	key := []Value{Int(123456789), Float(53600.5)}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendKey(buf[:0], key)
+		if len(buf) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}

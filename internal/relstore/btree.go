@@ -68,6 +68,10 @@ type InsertStats struct {
 // Insert adds rowID under key.  Duplicate keys accumulate row ids (non-unique
 // index semantics); unique enforcement is done by the table layer before the
 // index is touched.
+//
+// The tree copies the key when it stores a new entry, so callers may pass a
+// reusable scratch slice: only genuinely new keys pay an allocation, and
+// inserts under an existing key are allocation-free.
 func (t *BTree) Insert(key []Value, rowID int64) InsertStats {
 	var st InsertStats
 	if len(t.root.entries) == 2*t.degree-1 {
@@ -114,9 +118,11 @@ func (t *BTree) insertNonFull(n *btreeNode, key []Value, rowID int64, st *Insert
 		return
 	}
 	if n.leaf() {
+		stored := make([]Value, len(key))
+		copy(stored, key)
 		n.entries = append(n.entries, btreeEntry{})
 		copy(n.entries[i+1:], n.entries[i:])
-		n.entries[i] = btreeEntry{key: key, rowIDs: []int64{rowID}}
+		n.entries[i] = btreeEntry{key: stored, rowIDs: []int64{rowID}}
 		st.NewKey = true
 		return
 	}

@@ -6,7 +6,7 @@ import (
 	"testing/quick"
 )
 
-func intKey(v int64) []Value { return []Value{v} }
+func intKey(v int64) []Value { return []Value{Int(v)} }
 
 func TestBTreeInsertSearch(t *testing.T) {
 	bt := NewBTree(3)
@@ -91,7 +91,7 @@ func TestBTreeAscendRange(t *testing.T) {
 	}
 	var got []int64
 	bt.AscendRange(intKey(10), intKey(20), func(key []Value, ids []int64) bool {
-		got = append(got, key[0].(int64))
+		got = append(got, key[0].Int())
 		return true
 	})
 	if len(got) != 11 {
@@ -135,15 +135,15 @@ func TestBTreeKeysSorted(t *testing.T) {
 
 func TestBTreeCompositeKeys(t *testing.T) {
 	bt := NewBTree(3)
-	bt.Insert([]Value{1.5, 2.5, "a"}, 1)
-	bt.Insert([]Value{1.5, 2.5, "b"}, 2)
-	bt.Insert([]Value{1.5, 1.0, "z"}, 3)
-	ids, _ := bt.Search([]Value{1.5, 2.5, "a"})
+	bt.Insert([]Value{Float(1.5), Float(2.5), Str("a")}, 1)
+	bt.Insert([]Value{Float(1.5), Float(2.5), Str("b")}, 2)
+	bt.Insert([]Value{Float(1.5), Float(1.0), Str("z")}, 3)
+	ids, _ := bt.Search([]Value{Float(1.5), Float(2.5), Str("a")})
 	if len(ids) != 1 || ids[0] != 1 {
 		t.Fatalf("composite search = %v", ids)
 	}
 	keys := bt.Keys()
-	if len(keys) != 3 || keys[0][1].(float64) != 1.0 {
+	if len(keys) != 3 || keys[0][1].Float() != 1.0 {
 		t.Fatalf("composite ordering wrong: %v", keys)
 	}
 }

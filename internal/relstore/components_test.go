@@ -153,7 +153,7 @@ func TestHeapStorePaging(t *testing.T) {
 	h := newHeapStore()
 	// Rows of ~1 KB should produce multiple 8 KB pages.
 	big := make(Row, 1)
-	big[0] = string(make([]byte, 1000))
+	big[0] = Str(string(make([]byte, 1000)))
 	var newPages int
 	for i := 0; i < 30; i++ {
 		_, fresh := h.append(big.Clone())

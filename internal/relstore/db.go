@@ -45,6 +45,10 @@ type DB struct {
 
 	nextTxn int64
 	stats   DBStats
+
+	// fkKeyScratch is the reusable composite-key buffer for foreign-key
+	// lookups (single-threaded simulation; see Table.keyScratch).
+	fkKeyScratch []Value
 }
 
 // NewDB creates a database for the given schema.
@@ -150,11 +154,14 @@ func (db *DB) RowCounts() map[string]int64 {
 func (db *DB) checkForeignKeys(ts *TableSchema, row Row, rep *OpReport) error {
 	for _, fk := range ts.ForeignKeys {
 		rep.ConstraintChecks++
-		key := make([]Value, len(fk.Columns))
+		if cap(db.fkKeyScratch) < len(fk.Columns) {
+			db.fkKeyScratch = make([]Value, len(fk.Columns))
+		}
+		key := db.fkKeyScratch[:len(fk.Columns)]
 		null := false
 		for i, c := range fk.Columns {
 			v := row[ts.ColumnIndex(c)]
-			if v == nil {
+			if v.IsNull() {
 				null = true
 				break
 			}

@@ -17,14 +17,14 @@ func newTestDB(t *testing.T) *DB {
 
 func insertFrame(t *testing.T, txn *Txn, id int64) {
 	t.Helper()
-	if _, err := txn.Insert("frames", []string{"frame_id", "exposure"}, []Value{id, 145.0}); err != nil {
+	if _, err := txn.Insert("frames", []string{"frame_id", "exposure"}, []Value{Int(id), Float(145.0)}); err != nil {
 		t.Fatalf("insert frame %d: %v", id, err)
 	}
 }
 
 func insertObject(t *testing.T, txn *Txn, id, frame int64, mag float64) error {
 	t.Helper()
-	_, err := txn.Insert("objects", []string{"object_id", "frame_id", "mag"}, []Value{id, frame, mag})
+	_, err := txn.Insert("objects", []string{"object_id", "frame_id", "mag"}, []Value{Int(id), Int(frame), Float(mag)})
 	return err
 }
 
@@ -46,14 +46,14 @@ func TestInsertAndQuery(t *testing.T) {
 	if n, _ := db.Count("objects"); n != 10 {
 		t.Fatalf("Count = %d, want 10", n)
 	}
-	row, err := db.LookupByPK("objects", []Value{int64(3)})
+	row, err := db.LookupByPK("objects", []Value{Int(3)})
 	if err != nil || row == nil {
 		t.Fatalf("LookupByPK failed: %v %v", row, err)
 	}
-	if row[2].(float64) != 18 {
+	if row[2].Float() != 18 {
 		t.Fatalf("mag = %v, want 18", row[2])
 	}
-	rows, err := db.SelectWhere("objects", func(r Row) bool { return r[2].(float64) > 20 }, 0)
+	rows, err := db.SelectWhere("objects", func(r Row) bool { return r[2].F > 20 }, 0)
 	if err != nil || len(rows) != 5 {
 		t.Fatalf("SelectWhere returned %d rows, want 5 (err=%v)", len(rows), err)
 	}
@@ -86,23 +86,23 @@ func TestConstraintViolations(t *testing.T) {
 		{"missing parent", func() error { return insertObject(t, txn, 2, 99, 21) }, KindForeignKey},
 		{"check violation", func() error { return insertObject(t, txn, 3, 1, 99) }, KindCheck},
 		{"not null", func() error {
-			_, err := txn.Insert("objects", []string{"object_id", "frame_id"}, []Value{int64(4), int64(1)})
+			_, err := txn.Insert("objects", []string{"object_id", "frame_id"}, []Value{Int(4), Int(1)})
 			return err
 		}, KindNotNull},
 		{"type mismatch", func() error {
-			_, err := txn.Insert("objects", []string{"object_id", "frame_id", "mag"}, []Value{"zzz", int64(1), 20.0})
+			_, err := txn.Insert("objects", []string{"object_id", "frame_id", "mag"}, []Value{Str("zzz"), Int(1), Float(20.0)})
 			return err
 		}, KindType},
 		{"arity mismatch", func() error {
-			_, err := txn.Insert("objects", []string{"object_id"}, []Value{int64(5), int64(1)})
+			_, err := txn.Insert("objects", []string{"object_id"}, []Value{Int(5), Int(1)})
 			return err
 		}, KindArity},
 		{"unknown column", func() error {
-			_, err := txn.Insert("objects", []string{"object_id", "frame_id", "nope"}, []Value{int64(6), int64(1), 1.0})
+			_, err := txn.Insert("objects", []string{"object_id", "frame_id", "nope"}, []Value{Int(6), Int(1), Float(1.0)})
 			return err
 		}, KindArity},
 		{"unknown table", func() error {
-			_, err := txn.Insert("nope", []string{"x"}, []Value{int64(1)})
+			_, err := txn.Insert("nope", []string{"x"}, []Value{Int(1)})
 			return err
 		}, KindUnknownTable},
 	}
@@ -138,15 +138,15 @@ func TestUniqueConstraint(t *testing.T) {
 	if err := insertObject(t, txn, 1, 1, 20); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := txn.Insert("fingers", []string{"finger_id", "object_id", "flux"}, []Value{int64(1), int64(1), 5.0}); err != nil {
+	if _, err := txn.Insert("fingers", []string{"finger_id", "object_id", "flux"}, []Value{Int(1), Int(1), Float(5.0)}); err != nil {
 		t.Fatal(err)
 	}
-	_, err := txn.Insert("fingers", []string{"finger_id", "object_id", "flux"}, []Value{int64(2), int64(1), 5.0})
+	_, err := txn.Insert("fingers", []string{"finger_id", "object_id", "flux"}, []Value{Int(2), Int(1), Float(5.0)})
 	if kind, _ := ViolationKind(err); kind != KindUnique {
 		t.Fatalf("expected unique violation, got %v", err)
 	}
 	// A different flux value is fine.
-	if _, err := txn.Insert("fingers", []string{"finger_id", "object_id", "flux"}, []Value{int64(2), int64(1), 6.0}); err != nil {
+	if _, err := txn.Insert("fingers", []string{"finger_id", "object_id", "flux"}, []Value{Int(2), Int(1), Float(6.0)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -161,7 +161,7 @@ func TestNullForeignKeyAllowed(t *testing.T) {
 	// fingers.flux is nullable and part of a unique key; a NULL FK component
 	// (object_id is NOT NULL here, so use flux NULL) exercises the nullable
 	// path of unique handling instead.
-	if _, err := txn.Insert("fingers", []string{"finger_id", "object_id"}, []Value{int64(1), int64(1)}); err != nil {
+	if _, err := txn.Insert("fingers", []string{"finger_id", "object_id"}, []Value{Int(1), Int(1)}); err != nil {
 		t.Fatalf("nullable column insert failed: %v", err)
 	}
 }
@@ -213,7 +213,7 @@ func TestTxnLifecycleErrors(t *testing.T) {
 	if err := txn.Rollback(); !errors.Is(err, ErrTxnNotActive) {
 		t.Fatalf("rollback after commit: %v", err)
 	}
-	if _, err := txn.Insert("frames", []string{"frame_id"}, []Value{int64(1)}); !errors.Is(err, ErrTxnNotActive) {
+	if _, err := txn.Insert("frames", []string{"frame_id"}, []Value{Int(1)}); !errors.Is(err, ErrTxnNotActive) {
 		t.Fatalf("insert after commit: %v", err)
 	}
 }
@@ -257,14 +257,14 @@ func TestSecondaryIndexes(t *testing.T) {
 	if _, err := db.CreateIndex("objects", "ix_mag", []string{"mag"}, false); !errors.Is(err, ErrIndexExists) {
 		t.Fatalf("duplicate index: %v", err)
 	}
-	rows, visited, err := db.SelectEqualIndexed("objects", "ix_mag", []Value{float64(15)})
+	rows, visited, err := db.SelectEqualIndexed("objects", "ix_mag", []Value{Float(15)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != 5 || visited == 0 {
 		t.Fatalf("indexed lookup returned %d rows (visited %d)", len(rows), visited)
 	}
-	ranged, err := db.RangeIndexed("objects", "ix_mag", []Value{float64(10)}, []Value{float64(12)}, 0)
+	ranged, err := db.RangeIndexed("objects", "ix_mag", []Value{Float(10)}, []Value{Float(12)}, 0)
 	if err != nil || len(ranged) != 15 {
 		t.Fatalf("RangeIndexed returned %d rows (err=%v)", len(ranged), err)
 	}
@@ -272,7 +272,7 @@ func TestSecondaryIndexes(t *testing.T) {
 	if err := insertObject(t, txn, 200, 1, 15); err != nil {
 		t.Fatal(err)
 	}
-	rows, _, _ = db.SelectEqualIndexed("objects", "ix_mag", []Value{float64(15)})
+	rows, _, _ = db.SelectEqualIndexed("objects", "ix_mag", []Value{Float(15)})
 	if len(rows) != 6 {
 		t.Fatalf("index not maintained: %d rows", len(rows))
 	}
@@ -285,7 +285,7 @@ func TestSecondaryIndexes(t *testing.T) {
 	if err := db.DropIndex("objects", "ix_mag"); !errors.Is(err, ErrNoSuchIndex) {
 		t.Fatalf("double drop: %v", err)
 	}
-	if _, _, err := db.SelectEqualIndexed("objects", "ix_mag", []Value{float64(15)}); !errors.Is(err, ErrNoSuchIndex) {
+	if _, _, err := db.SelectEqualIndexed("objects", "ix_mag", []Value{Float(15)}); !errors.Is(err, ErrNoSuchIndex) {
 		t.Fatalf("query on dropped index: %v", err)
 	}
 }
@@ -300,7 +300,7 @@ func TestIndexCostReporting(t *testing.T) {
 	}
 	txn, _ := db.Begin()
 	insertFrame(t, txn, 1)
-	rep, err := txn.Insert("objects", []string{"object_id", "frame_id", "mag"}, []Value{int64(1), int64(1), 20.0})
+	rep, err := txn.Insert("objects", []string{"object_id", "frame_id", "mag"}, []Value{Int(1), Int(1), Float(20.0)})
 	if err != nil {
 		t.Fatal(err)
 	}

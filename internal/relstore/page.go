@@ -75,6 +75,20 @@ func (h *heapStore) markDeleted(loc rowLoc) {
 	}
 }
 
+// scanLoc visits every live row in heap order along with its physical
+// location, for callers that need to map locations back to row ids.
+func (h *heapStore) scanLoc(visit func(loc rowLoc, r Row) bool) {
+	for pi, p := range h.pages {
+		for si, r := range p.rows {
+			if r != nil {
+				if !visit(rowLoc{pageIdx: pi, slot: si}, r) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // scan visits every live row in heap order.
 func (h *heapStore) scan(visit func(id int64, r Row) bool) {
 	var id int64

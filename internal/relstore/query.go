@@ -32,6 +32,21 @@ func (db *DB) Scan(table string, visit func(Row) bool) error {
 	return nil
 }
 
+// ScanRef is Scan without the per-row copy: visit receives the stored row
+// itself.  It exists for read-only consumers on hot paths (query decoding,
+// bulk publishing); the visitor must not mutate the row or retain it across
+// writes to the table.
+func (db *DB) ScanRef(table string, visit func(Row) bool) error {
+	t, ok := db.tables[table]
+	if !ok {
+		return ErrNoSuchTable
+	}
+	t.heap.scan(func(_ int64, r Row) bool {
+		return visit(r)
+	})
+	return nil
+}
+
 // SelectWhere returns the rows of table for which pred returns true, up to
 // limit rows (limit <= 0 means no limit).
 func (db *DB) SelectWhere(table string, pred func(Row) bool, limit int) ([]Row, error) {
@@ -54,7 +69,7 @@ func (db *DB) LookupByPK(table string, key []Value) (Row, error) {
 	if !ok {
 		return nil, ErrNoSuchTable
 	}
-	id, ok := t.pkIndex[EncodeKey(key)]
+	id, ok := t.pkRowID(key)
 	if !ok {
 		return nil, nil
 	}
@@ -131,15 +146,12 @@ func (db *DB) Aggregate(table, column string) (AggregateResult, error) {
 	res := AggregateResult{Min: math.Inf(1), Max: math.Inf(-1)}
 	t.heap.scan(func(_ int64, r Row) bool {
 		v := r[idx]
-		if v == nil {
-			return true
-		}
 		var f float64
-		switch x := v.(type) {
-		case int64:
-			f = float64(x)
-		case float64:
-			f = x
+		switch v.Kind {
+		case KindInt:
+			f = float64(v.I)
+		case KindFloat:
+			f = v.F
 		default:
 			return true
 		}

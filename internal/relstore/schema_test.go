@@ -7,7 +7,7 @@ import (
 
 // testSchema builds a small parent/child/grandchild schema mirroring the
 // frames -> objects -> fingers chain used throughout the paper's examples.
-func testSchema(t *testing.T) *Schema {
+func testSchema(t testing.TB) *Schema {
 	t.Helper()
 	s, err := NewSchema(
 		&TableSchema{

@@ -14,6 +14,12 @@ type Index struct {
 
 	tree    *BTree
 	colIdxs []int
+	// floatCols and otherCols count the float-typed and non-float-typed
+	// indexed columns.  They are classified once at creation so the per-row
+	// cost attribution in insertPrepared does not re-inspect the schema for
+	// every inserted row.
+	floatCols int
+	otherCols int
 }
 
 // Tree exposes the underlying B-tree (read-only use by tests and queries).
@@ -34,10 +40,22 @@ type Table struct {
 	uniqueCols  [][]int
 	uniqueMaps  []map[string]int64
 	uniqueNames []string
+	// uniqueEncs is a reusable per-insert buffer of encoded unique keys.
+	uniqueEncs []string
 
 	indexes map[string]*Index
+	// indexList caches Indexes()'s name-sorted slice; nil means stale.
+	indexList []*Index
 
 	btreeDegree int
+
+	// keyScratch and encScratch are reusable buffers for composite-key
+	// extraction and encoding on the insert path.  The engine is driven by a
+	// single-threaded discrete-event simulation, so per-table scratch space
+	// needs no locking; every use is consumed (encoded or copied) before the
+	// next call overwrites it.
+	keyScratch []Value
+	encScratch []byte
 
 	// prePopulatedBytes models rows that "already exist" in the table from
 	// earlier loading sessions without materializing them (Figure 9 sweeps
@@ -75,6 +93,7 @@ func newTable(schema *TableSchema, btreeDegree int) (*Table, error) {
 		t.uniqueMaps = append(t.uniqueMaps, make(map[string]int64))
 		t.uniqueNames = append(t.uniqueNames, u.Name)
 	}
+	t.uniqueEncs = make([]string, len(t.uniqueCols))
 	return t, nil
 }
 
@@ -99,14 +118,18 @@ func (t *Table) LogicalByteSize() int64 { return t.heap.bytes + t.prePopulatedBy
 // PageCount returns the number of heap pages allocated.
 func (t *Table) PageCount() int { return t.heap.pageCount() }
 
-// Indexes returns the table's secondary indexes sorted by name.
+// Indexes returns the table's secondary indexes sorted by name.  The sorted
+// slice is cached and invalidated on create/drop; callers must not mutate it.
 func (t *Table) Indexes() []*Index {
-	out := make([]*Index, 0, len(t.indexes))
-	for _, ix := range t.indexes {
-		out = append(out, ix)
+	if t.indexList == nil {
+		out := make([]*Index, 0, len(t.indexes))
+		for _, ix := range t.indexes {
+			out = append(out, ix)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		t.indexList = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return t.indexList
 }
 
 // Index returns the named index or nil.
@@ -142,7 +165,7 @@ func (t *Table) checkRow(row Row) (int, error) {
 	for i, c := range t.schema.Columns {
 		if !c.Nullable {
 			checks++
-			if row[i] == nil {
+			if row[i].IsNull() {
 				return checks, &ConstraintError{Kind: KindNotNull, Table: t.schema.Name, Column: c.Name}
 			}
 		}
@@ -152,13 +175,13 @@ func (t *Table) checkRow(row Row) (int, error) {
 		if ck.Column != "" {
 			idx := t.schema.ColumnIndex(ck.Column)
 			v := row[idx]
-			if v != nil && (ck.Min != nil || ck.Max != nil) {
+			if !v.IsNull() && (ck.Min != nil || ck.Max != nil) {
 				var f float64
-				switch x := v.(type) {
-				case int64:
-					f = float64(x)
-				case float64:
-					f = x
+				switch v.Kind {
+				case KindInt:
+					f = float64(v.I)
+				case KindFloat:
+					f = v.F
 				default:
 					return checks, &ConstraintError{Kind: KindCheck, Table: t.schema.Name,
 						Constraint: ck.Name, Column: ck.Column, Detail: "non-numeric value for range check"}
@@ -182,12 +205,28 @@ func (t *Table) checkRow(row Row) (int, error) {
 	return checks, nil
 }
 
+// keyOf fills the table's reusable scratch slice with the key columns of row.
+// The result is valid only until the next keyOf call on this table: consumers
+// must encode it or hand it to BTree.Insert (which copies stored keys) before
+// extracting another key.
 func (t *Table) keyOf(row Row, cols []int) []Value {
-	key := make([]Value, len(cols))
+	if cap(t.keyScratch) < len(cols) {
+		t.keyScratch = make([]Value, len(cols))
+	}
+	key := t.keyScratch[:len(cols)]
 	for i, c := range cols {
 		key[i] = row[c]
 	}
 	return key
+}
+
+// encodeKey encodes key into the table's reusable scratch buffer.  The
+// returned bytes are valid until the next encodeKey call on this table; hash
+// lookups use m[string(buf)] (compiled without copying) and only keys that
+// are stored pay a string allocation.
+func (t *Table) encodeKey(key []Value) []byte {
+	t.encScratch = AppendKey(t.encScratch[:0], key)
+	return t.encScratch
 }
 
 // insertPrepared validates uniqueness constraints and stores the row.  The
@@ -203,28 +242,29 @@ func (t *Table) insertPrepared(row Row) (int64, OpReport, error) {
 	}
 
 	pkKey := t.keyOf(row, t.pkCols)
-	pkEnc := EncodeKey(pkKey)
 	rep.ConstraintChecks++
 	for _, v := range pkKey {
-		if v == nil {
+		if v.IsNull() {
 			return 0, rep, &ConstraintError{Kind: KindNotNull, Table: t.schema.Name,
 				Column: t.schema.PrimaryKey[0], Detail: "NULL in primary key"}
 		}
 	}
-	if _, dup := t.pkIndex[pkEnc]; dup {
+	pkBuf := t.encodeKey(pkKey)
+	if _, dup := t.pkIndex[string(pkBuf)]; dup {
 		return 0, rep, &ConstraintError{Kind: KindPrimaryKey, Table: t.schema.Name,
-			Constraint: "pk_" + t.schema.Name, Detail: "duplicate key " + pkEnc}
+			Constraint: "pk_" + t.schema.Name, Detail: "duplicate key " + string(pkBuf)}
 	}
+	pkEnc := string(pkBuf)
 
-	uniqueEncs := make([]string, len(t.uniqueCols))
+	uniqueEncs := t.uniqueEncs
 	for i, cols := range t.uniqueCols {
 		rep.ConstraintChecks++
-		enc := EncodeKey(t.keyOf(row, cols))
-		if _, dup := t.uniqueMaps[i][enc]; dup {
+		buf := t.encodeKey(t.keyOf(row, cols))
+		if _, dup := t.uniqueMaps[i][string(buf)]; dup {
 			return 0, rep, &ConstraintError{Kind: KindUnique, Table: t.schema.Name,
-				Constraint: t.uniqueNames[i], Detail: "duplicate key " + enc}
+				Constraint: t.uniqueNames[i], Detail: "duplicate key " + string(buf)}
 		}
-		uniqueEncs[i] = enc
+		uniqueEncs[i] = string(buf)
 	}
 
 	// All constraints satisfied: store the row.
@@ -244,19 +284,13 @@ func (t *Table) insertPrepared(row Row) (int64, OpReport, error) {
 		rep.CacheMisses++ // a fresh block is always a cache miss
 	}
 
-	for _, ix := range t.indexes {
+	for _, ix := range t.Indexes() {
 		key := t.keyOf(row, ix.colIdxs)
 		st := ix.tree.Insert(key, id)
 		rep.IndexNodesVisited += st.NodesVisited
 		rep.IndexSplits += st.Splits
-		for _, ci := range ix.colIdxs {
-			switch t.schema.Columns[ci].Type {
-			case TypeFloat:
-				rep.IndexFloatColNodeVisits += st.NodesVisited
-			default:
-				rep.IndexIntColNodeVisits += st.NodesVisited
-			}
-		}
+		rep.IndexFloatColNodeVisits += st.NodesVisited * ix.floatCols
+		rep.IndexIntColNodeVisits += st.NodesVisited * ix.otherCols
 		for _, v := range key {
 			rep.IndexEntryBytes += ValueSize(v)
 		}
@@ -275,11 +309,11 @@ func (t *Table) deleteRow(id int64) {
 	if row == nil {
 		return
 	}
-	delete(t.pkIndex, EncodeKey(t.keyOf(row, t.pkCols)))
+	delete(t.pkIndex, string(t.encodeKey(t.keyOf(row, t.pkCols))))
 	for i, cols := range t.uniqueCols {
-		delete(t.uniqueMaps[i], EncodeKey(t.keyOf(row, cols)))
+		delete(t.uniqueMaps[i], string(t.encodeKey(t.keyOf(row, cols))))
 	}
-	for _, ix := range t.indexes {
+	for _, ix := range t.Indexes() {
 		ix.tree.Delete(t.keyOf(row, ix.colIdxs), id)
 	}
 	t.heap.markDeleted(loc)
@@ -288,21 +322,34 @@ func (t *Table) deleteRow(id int64) {
 
 // lookupPK returns whether a row with the given primary-key values exists.
 func (t *Table) lookupPK(key []Value) bool {
-	_, ok := t.pkIndex[EncodeKey(key)]
+	_, ok := t.pkRowID(key)
 	return ok
+}
+
+// pkRowID returns the row id stored under the given primary key.
+func (t *Table) pkRowID(key []Value) (int64, bool) {
+	id, ok := t.pkIndex[string(t.encodeKey(key))]
+	return id, ok
 }
 
 // getRow returns a copy of the row with the given id, or nil.
 func (t *Table) getRow(id int64) Row {
-	loc, ok := t.rows[id]
-	if !ok {
-		return nil
-	}
-	r := t.heap.get(loc)
+	r := t.getRowRef(id)
 	if r == nil {
 		return nil
 	}
 	return r.Clone()
+}
+
+// getRowRef returns the stored row with the given id without copying, or nil.
+// It is for internal read-only consumers; callers must not mutate the result
+// or hold it across writes.
+func (t *Table) getRowRef(id int64) Row {
+	loc, ok := t.rows[id]
+	if !ok {
+		return nil
+	}
+	return t.heap.get(loc)
 }
 
 // createIndex builds a secondary index over the named columns, populating it
@@ -319,15 +366,27 @@ func (t *Table) createIndex(name string, columns []string, unique bool) (*Index,
 			return nil, fmt.Errorf("relstore: index %q references unknown column %q", name, c)
 		}
 		ix.colIdxs = append(ix.colIdxs, idx)
+		if t.schema.Columns[idx].Type == TypeFloat {
+			ix.floatCols++
+		} else {
+			ix.otherCols++
+		}
 	}
-	t.heap.scan(func(_ int64, r Row) bool {
-		// Heap scan ids do not match table row ids when rollbacks occurred,
-		// so re-derive the id from the primary key.
-		id := t.pkIndex[EncodeKey(t.keyOf(r, t.pkCols))]
-		ix.tree.Insert(t.keyOf(r, ix.colIdxs), id)
-		return true
-	})
+	// Backfill in one heap pass.  Heap scan positions do not match table row
+	// ids when rollbacks occurred, so invert the rows map once instead of
+	// re-deriving each id through a primary-key encoding.
+	if t.heap.rowCount > 0 {
+		idByLoc := make(map[rowLoc]int64, len(t.rows))
+		for id, loc := range t.rows {
+			idByLoc[loc] = id
+		}
+		t.heap.scanLoc(func(loc rowLoc, r Row) bool {
+			ix.tree.Insert(t.keyOf(r, ix.colIdxs), idByLoc[loc])
+			return true
+		})
+	}
 	t.indexes[name] = ix
+	t.indexList = nil
 	return ix, nil
 }
 
@@ -337,6 +396,7 @@ func (t *Table) dropIndex(name string) error {
 		return ErrNoSuchIndex
 	}
 	delete(t.indexes, name)
+	t.indexList = nil
 	return nil
 }
 

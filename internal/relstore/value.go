@@ -57,9 +57,100 @@ func (t ColType) String() string {
 	}
 }
 
-// Value is a single column value.  A nil Value represents SQL NULL.  The
-// dynamic type must be one of int64, float64, string, time.Time or bool.
-type Value any
+// ValueKind tags the dynamic type carried by a Value.
+type ValueKind uint8
+
+const (
+	// KindNull is SQL NULL; it is the zero Value.
+	KindNull ValueKind = iota
+	// KindInt carries a 64-bit signed integer in Value.I.
+	KindInt
+	// KindFloat carries a 64-bit float in Value.F.
+	KindFloat
+	// KindString carries a string in Value.S.
+	KindString
+	// KindTime carries a timestamp as Unix nanoseconds in Value.I.
+	KindTime
+	// KindBool carries a boolean as 0/1 in Value.I.
+	KindBool
+)
+
+// String names the kind for error messages.
+func (k ValueKind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindTime:
+		return "TIMESTAMP"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", int(k))
+	}
+}
+
+// Value is a single column value, represented as a compact tagged union
+// instead of a boxed interface so that rows move through the insert hot path
+// without per-value heap allocations.  The zero Value is SQL NULL.
+//
+// Integers and booleans live in I (booleans as 0/1), floats in F, strings in
+// S, and timestamps as Unix nanoseconds in I.  Consumers on hot paths read
+// the fields directly after checking Kind; everything else goes through the
+// constructors and accessors below.
+type Value struct {
+	Kind ValueKind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Null is the SQL NULL value.
+var Null Value
+
+// Int returns an integer value.
+func Int(x int64) Value { return Value{Kind: KindInt, I: x} }
+
+// Float returns a float value.
+func Float(x float64) Value { return Value{Kind: KindFloat, F: x} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return Value{Kind: KindBool, I: 1}
+	}
+	return Value{Kind: KindBool}
+}
+
+// Time returns a timestamp value (stored as Unix nanoseconds).
+func Time(t time.Time) Value { return Value{Kind: KindTime, I: t.UnixNano()} }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Int returns the integer payload (valid for KindInt).
+func (v Value) Int() int64 { return v.I }
+
+// Float returns the float payload (valid for KindFloat).
+func (v Value) Float() float64 { return v.F }
+
+// Str returns the string payload (valid for KindString).
+func (v Value) Str() string { return v.S }
+
+// Bool returns the boolean payload (valid for KindBool).
+func (v Value) Bool() bool { return v.I != 0 }
+
+// Time returns the timestamp payload (valid for KindTime).  The location is
+// normalized to UTC; the engine stores instants, not civil times.
+func (v Value) Time() time.Time { return time.Unix(0, v.I).UTC() }
 
 // Row is a tuple of column values in table column order.
 type Row []Value
@@ -71,148 +162,124 @@ func (r Row) Clone() Row {
 	return out
 }
 
-// Coerce converts v to the canonical Go representation for column type t.
-// It accepts the common Go numeric types and numeric strings, mirroring the
-// light type conversion a database driver performs.  NULL (nil) passes
-// through unchanged.
+// Coerce converts v to the canonical representation for column type t,
+// mirroring the light type conversion a database driver performs: numeric
+// widening, numeric/boolean/timestamp parsing of strings, and int/float
+// interconversion when lossless.  NULL passes through unchanged.  When v
+// already has the canonical kind for t — the common case on the loading hot
+// path, where the transformer emits exact types — Coerce is a branch and no
+// allocation.
 func Coerce(v Value, t ColType) (Value, error) {
-	if v == nil {
-		return nil, nil
+	if v.Kind == KindNull {
+		return v, nil
 	}
 	switch t {
 	case TypeInt:
-		switch x := v.(type) {
-		case int64:
-			return x, nil
-		case int:
-			return int64(x), nil
-		case int32:
-			return int64(x), nil
-		case float64:
-			if x != math.Trunc(x) {
-				return nil, fmt.Errorf("relstore: value %v is not an integer", x)
+		switch v.Kind {
+		case KindInt:
+			return v, nil
+		case KindFloat:
+			if v.F != math.Trunc(v.F) {
+				return Null, fmt.Errorf("relstore: value %v is not an integer", v.F)
 			}
-			return int64(x), nil
-		case string:
-			n, err := strconv.ParseInt(strings.TrimSpace(x), 10, 64)
+			return Int(int64(v.F)), nil
+		case KindString:
+			n, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("relstore: cannot parse %q as integer", x)
+				return Null, fmt.Errorf("relstore: cannot parse %q as integer", v.S)
 			}
-			return n, nil
+			return Int(n), nil
 		}
 	case TypeFloat:
-		switch x := v.(type) {
-		case float64:
-			return x, nil
-		case float32:
-			return float64(x), nil
-		case int64:
-			return float64(x), nil
-		case int:
-			return float64(x), nil
-		case string:
-			f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+		switch v.Kind {
+		case KindFloat:
+			return v, nil
+		case KindInt:
+			return Float(float64(v.I)), nil
+		case KindString:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
 			if err != nil {
-				return nil, fmt.Errorf("relstore: cannot parse %q as float", x)
+				return Null, fmt.Errorf("relstore: cannot parse %q as float", v.S)
 			}
-			return f, nil
+			return Float(f), nil
 		}
 	case TypeString:
-		switch x := v.(type) {
-		case string:
-			return x, nil
-		case fmt.Stringer:
-			return x.String(), nil
-		case int64:
-			return strconv.FormatInt(x, 10), nil
-		case float64:
-			return strconv.FormatFloat(x, 'g', -1, 64), nil
+		switch v.Kind {
+		case KindString:
+			return v, nil
+		case KindInt:
+			return Str(strconv.FormatInt(v.I, 10)), nil
+		case KindFloat:
+			return Str(strconv.FormatFloat(v.F, 'g', -1, 64)), nil
 		}
 	case TypeTime:
-		switch x := v.(type) {
-		case time.Time:
-			return x, nil
-		case string:
-			ts, err := time.Parse(time.RFC3339, strings.TrimSpace(x))
+		switch v.Kind {
+		case KindTime:
+			return v, nil
+		case KindString:
+			ts, err := time.Parse(time.RFC3339, strings.TrimSpace(v.S))
 			if err != nil {
-				return nil, fmt.Errorf("relstore: cannot parse %q as timestamp", x)
+				return Null, fmt.Errorf("relstore: cannot parse %q as timestamp", v.S)
 			}
-			return ts, nil
-		case int64:
-			return time.Unix(x, 0).UTC(), nil
+			return Time(ts), nil
+		case KindInt:
+			return Time(time.Unix(v.I, 0).UTC()), nil
 		}
 	case TypeBool:
-		switch x := v.(type) {
-		case bool:
-			return x, nil
-		case int64:
-			return x != 0, nil
-		case string:
-			b, err := strconv.ParseBool(strings.TrimSpace(x))
+		switch v.Kind {
+		case KindBool:
+			return v, nil
+		case KindInt:
+			return Bool(v.I != 0), nil
+		case KindString:
+			b, err := strconv.ParseBool(strings.TrimSpace(v.S))
 			if err != nil {
-				return nil, fmt.Errorf("relstore: cannot parse %q as boolean", x)
+				return Null, fmt.Errorf("relstore: cannot parse %q as boolean", v.S)
 			}
-			return b, nil
+			return Bool(b), nil
 		}
 	}
-	return nil, fmt.Errorf("relstore: cannot coerce %T value %v to %s", v, v, t)
+	return Null, fmt.Errorf("relstore: cannot coerce %s value %s to %s", v.Kind, FormatValue(v), t)
 }
 
-// CompareValues orders two non-nil values of the same column type.  NULLs sort
+// CompareValues orders two non-NULL values of the same kind.  NULLs sort
 // before every non-NULL value and equal to each other, matching index order
-// semantics.  Values of mismatched dynamic types panic, because they indicate
-// a bug upstream of the index layer (Coerce is applied before storage).
+// semantics.  Values of mismatched kinds panic, because they indicate a bug
+// upstream of the index layer (Coerce is applied before storage).
 func CompareValues(a, b Value) int {
-	if a == nil && b == nil {
+	if a.Kind == KindNull && b.Kind == KindNull {
 		return 0
 	}
-	if a == nil {
+	if a.Kind == KindNull {
 		return -1
 	}
-	if b == nil {
+	if b.Kind == KindNull {
 		return 1
 	}
-	switch x := a.(type) {
-	case int64:
-		y := b.(int64)
-		switch {
-		case x < y:
-			return -1
-		case x > y:
-			return 1
-		}
-		return 0
-	case float64:
-		y := b.(float64)
-		switch {
-		case x < y:
-			return -1
-		case x > y:
-			return 1
-		}
-		return 0
-	case string:
-		return strings.Compare(x, b.(string))
-	case bool:
-		y := b.(bool)
-		switch {
-		case !x && y:
-			return -1
-		case x && !y:
-			return 1
-		}
-		return 0
-	case time.Time:
-		y := b.(time.Time)
-		switch {
-		case x.Before(y):
-			return -1
-		case x.After(y):
-			return 1
-		}
-		return 0
+	if a.Kind != b.Kind {
+		panic(fmt.Sprintf("relstore: cannot compare %s with %s", a.Kind, b.Kind))
 	}
-	panic(fmt.Sprintf("relstore: cannot compare values of type %T", a))
+	switch a.Kind {
+	case KindInt, KindTime, KindBool:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+		return 0
+	case KindString:
+		return strings.Compare(a.S, b.S)
+	}
+	panic(fmt.Sprintf("relstore: cannot compare values of kind %s", a.Kind))
 }
 
 // CompareKeys orders two composite keys element-wise.
@@ -235,60 +302,71 @@ func CompareKeys(a, b []Value) int {
 	return 0
 }
 
-// EncodeKey renders a composite key as a unique string suitable for use as a
-// hash-map key (primary-key lookups).  The encoding is not order preserving;
-// ordered access goes through the B-tree, which compares typed values.
-func EncodeKey(vals []Value) string {
-	var sb strings.Builder
+// AppendKey appends the unique string encoding of a composite key to dst and
+// returns the extended buffer, following the append convention of the
+// standard library (strconv.AppendInt and friends).  Callers on the insert
+// hot path keep a reusable scratch buffer and look keys up in their hash maps
+// via m[string(buf)], which the compiler compiles without copying the bytes;
+// the one final string allocation happens only when a key is actually stored.
+//
+// The encoding is not order preserving; ordered access goes through the
+// B-tree, which compares typed values.
+func AppendKey(dst []byte, vals []Value) []byte {
 	for i, v := range vals {
 		if i > 0 {
-			sb.WriteByte(0x1f)
+			dst = append(dst, 0x1f)
 		}
-		switch x := v.(type) {
-		case nil:
-			sb.WriteString("\x00N")
-		case int64:
-			sb.WriteByte('i')
-			sb.WriteString(strconv.FormatInt(x, 10))
-		case float64:
-			sb.WriteByte('f')
-			sb.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
-		case string:
-			sb.WriteByte('s')
-			sb.WriteString(x)
-		case bool:
-			sb.WriteByte('b')
-			if x {
-				sb.WriteByte('1')
+		switch v.Kind {
+		case KindNull:
+			dst = append(dst, 0x00, 'N')
+		case KindInt:
+			dst = append(dst, 'i')
+			dst = strconv.AppendInt(dst, v.I, 10)
+		case KindFloat:
+			dst = append(dst, 'f')
+			dst = strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+		case KindString:
+			dst = append(dst, 's')
+			dst = append(dst, v.S...)
+		case KindBool:
+			if v.I != 0 {
+				dst = append(dst, 'b', '1')
 			} else {
-				sb.WriteByte('0')
+				dst = append(dst, 'b', '0')
 			}
-		case time.Time:
-			sb.WriteByte('t')
-			sb.WriteString(strconv.FormatInt(x.UnixNano(), 10))
+		case KindTime:
+			dst = append(dst, 't')
+			dst = strconv.AppendInt(dst, v.I, 10)
 		default:
-			panic(fmt.Sprintf("relstore: cannot encode key value of type %T", v))
+			panic(fmt.Sprintf("relstore: cannot encode key value of kind %s", v.Kind))
 		}
 	}
-	return sb.String()
+	return dst
+}
+
+// EncodeKey renders a composite key as a unique string suitable for use as a
+// hash-map key (primary-key lookups).  It is the allocating convenience form
+// of AppendKey.
+func EncodeKey(vals []Value) string {
+	return string(AppendKey(nil, vals))
 }
 
 // ValueSize estimates the storage footprint of a value in bytes, used for
 // page-fill and log-volume accounting.
 func ValueSize(v Value) int {
-	switch x := v.(type) {
-	case nil:
+	switch v.Kind {
+	case KindNull:
 		return 1
-	case int64:
+	case KindInt:
 		return 8
-	case float64:
+	case KindFloat:
 		return 8
-	case bool:
+	case KindBool:
 		return 1
-	case time.Time:
+	case KindTime:
 		return 12
-	case string:
-		return 2 + len(x)
+	case KindString:
+		return 2 + len(v.S)
 	default:
 		return 16
 	}
@@ -306,21 +384,21 @@ func RowSize(r Row) int {
 // FormatValue renders a value the way the skyload CLI and error messages
 // display it.
 func FormatValue(v Value) string {
-	switch x := v.(type) {
-	case nil:
+	switch v.Kind {
+	case KindNull:
 		return "NULL"
-	case int64:
-		return strconv.FormatInt(x, 10)
-	case float64:
-		return strconv.FormatFloat(x, 'g', -1, 64)
-	case string:
-		return x
-	case bool:
-		return strconv.FormatBool(x)
-	case time.Time:
-		return x.Format(time.RFC3339)
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		return strconv.FormatBool(v.I != 0)
+	case KindTime:
+		return v.Time().Format(time.RFC3339)
 	default:
-		return fmt.Sprintf("%v", x)
+		return fmt.Sprintf("Value(kind=%d)", v.Kind)
 	}
 }
 

@@ -15,27 +15,27 @@ func TestCoerce(t *testing.T) {
 		want    Value
 		wantErr bool
 	}{
-		{int64(7), TypeInt, int64(7), false},
-		{7, TypeInt, int64(7), false},
-		{int32(7), TypeInt, int64(7), false},
-		{7.0, TypeInt, int64(7), false},
-		{7.5, TypeInt, nil, true},
-		{" 42 ", TypeInt, int64(42), false},
-		{"x", TypeInt, nil, true},
-		{3.25, TypeFloat, 3.25, false},
-		{float32(2), TypeFloat, 2.0, false},
-		{5, TypeFloat, 5.0, false},
-		{"2.5", TypeFloat, 2.5, false},
-		{"abc", TypeFloat, nil, true},
-		{"hello", TypeString, "hello", false},
-		{int64(12), TypeString, "12", false},
-		{ts, TypeTime, ts, false},
-		{"2005-11-12T00:00:00Z", TypeTime, ts, false},
-		{"not a time", TypeTime, nil, true},
-		{true, TypeBool, true, false},
-		{"true", TypeBool, true, false},
-		{int64(0), TypeBool, false, false},
-		{nil, TypeInt, nil, false},
+		{Int(7), TypeInt, Int(7), false},
+		{Float(7.0), TypeInt, Int(7), false},
+		{Float(7.5), TypeInt, Null, true},
+		{Str(" 42 "), TypeInt, Int(42), false},
+		{Str("x"), TypeInt, Null, true},
+		{Float(3.25), TypeFloat, Float(3.25), false},
+		{Int(5), TypeFloat, Float(5.0), false},
+		{Str("2.5"), TypeFloat, Float(2.5), false},
+		{Str("abc"), TypeFloat, Null, true},
+		{Str("hello"), TypeString, Str("hello"), false},
+		{Int(12), TypeString, Str("12"), false},
+		{Float(2.5), TypeString, Str("2.5"), false},
+		{Time(ts), TypeTime, Time(ts), false},
+		{Str("2005-11-12T00:00:00Z"), TypeTime, Time(ts), false},
+		{Int(ts.Unix()), TypeTime, Time(ts), false},
+		{Str("not a time"), TypeTime, Null, true},
+		{Bool(true), TypeBool, Bool(true), false},
+		{Str("true"), TypeBool, Bool(true), false},
+		{Int(0), TypeBool, Bool(false), false},
+		{Bool(true), TypeInt, Null, true},
+		{Null, TypeInt, Null, false},
 	}
 	for i, c := range cases {
 		got, err := Coerce(c.in, c.typ)
@@ -49,43 +49,68 @@ func TestCoerce(t *testing.T) {
 			t.Errorf("case %d: unexpected error: %v", i, err)
 			continue
 		}
-		if CompareValues(got, c.want) != 0 && got != c.want {
+		if got != c.want {
 			t.Errorf("case %d: got %v, want %v", i, got, c.want)
 		}
 	}
 }
 
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() || Int(1).IsNull() {
+		t.Error("IsNull broken")
+	}
+	if Int(7).Int() != 7 || Float(2.5).Float() != 2.5 || Str("x").Str() != "x" {
+		t.Error("accessors broken")
+	}
+	if !Bool(true).Bool() || Bool(false).Bool() {
+		t.Error("bool accessor broken")
+	}
+	ts := time.Date(2005, 11, 12, 3, 4, 5, 600, time.UTC)
+	if !Time(ts).Time().Equal(ts) {
+		t.Errorf("time round trip: got %v, want %v", Time(ts).Time(), ts)
+	}
+}
+
 func TestCompareValues(t *testing.T) {
-	if CompareValues(nil, nil) != 0 {
-		t.Error("nil should equal nil")
+	if CompareValues(Null, Null) != 0 {
+		t.Error("NULL should equal NULL")
 	}
-	if CompareValues(nil, int64(1)) != -1 || CompareValues(int64(1), nil) != 1 {
-		t.Error("nil should sort before values")
+	if CompareValues(Null, Int(1)) != -1 || CompareValues(Int(1), Null) != 1 {
+		t.Error("NULL should sort before values")
 	}
-	if CompareValues(int64(1), int64(2)) != -1 || CompareValues(int64(2), int64(1)) != 1 || CompareValues(int64(2), int64(2)) != 0 {
+	if CompareValues(Int(1), Int(2)) != -1 || CompareValues(Int(2), Int(1)) != 1 || CompareValues(Int(2), Int(2)) != 0 {
 		t.Error("integer comparison broken")
 	}
-	if CompareValues("a", "b") != -1 {
+	if CompareValues(Str("a"), Str("b")) != -1 {
 		t.Error("string comparison broken")
 	}
-	if CompareValues(false, true) != -1 || CompareValues(true, true) != 0 {
+	if CompareValues(Bool(false), Bool(true)) != -1 || CompareValues(Bool(true), Bool(true)) != 0 {
 		t.Error("bool comparison broken")
 	}
-	a := time.Unix(1, 0)
-	b := time.Unix(2, 0)
+	a := Time(time.Unix(1, 0))
+	b := Time(time.Unix(2, 0))
 	if CompareValues(a, b) != -1 || CompareValues(b, a) != 1 {
 		t.Error("time comparison broken")
 	}
 }
 
+func TestCompareValuesKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("comparing mismatched kinds should panic")
+		}
+	}()
+	CompareValues(Int(1), Str("1"))
+}
+
 func TestCompareKeys(t *testing.T) {
-	if CompareKeys([]Value{int64(1), "a"}, []Value{int64(1), "b"}) != -1 {
+	if CompareKeys([]Value{Int(1), Str("a")}, []Value{Int(1), Str("b")}) != -1 {
 		t.Error("composite comparison broken")
 	}
-	if CompareKeys([]Value{int64(1)}, []Value{int64(1), "b"}) != -1 {
+	if CompareKeys([]Value{Int(1)}, []Value{Int(1), Str("b")}) != -1 {
 		t.Error("shorter prefix should sort first")
 	}
-	if CompareKeys([]Value{int64(2)}, []Value{int64(1), "b"}) != 1 {
+	if CompareKeys([]Value{Int(2)}, []Value{Int(1), Str("b")}) != 1 {
 		t.Error("first column should dominate")
 	}
 }
@@ -94,7 +119,7 @@ func TestCompareKeys(t *testing.T) {
 // float orderings.
 func TestCompareValuesProperty(t *testing.T) {
 	f := func(a, b int64) bool {
-		x, y := Value(a), Value(b)
+		x, y := Int(a), Int(b)
 		return CompareValues(x, y) == -CompareValues(y, x) && CompareValues(x, x) == 0
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -104,7 +129,7 @@ func TestCompareValuesProperty(t *testing.T) {
 		if math.IsNaN(a) || math.IsNaN(b) {
 			return true
 		}
-		x, y := Value(a), Value(b)
+		x, y := Float(a), Float(b)
 		return CompareValues(x, y) == -CompareValues(y, x)
 	}
 	if err := quick.Check(g, nil); err != nil {
@@ -115,8 +140,8 @@ func TestCompareValuesProperty(t *testing.T) {
 // TestEncodeKeyInjective checks that distinct int pairs never collide.
 func TestEncodeKeyInjective(t *testing.T) {
 	f := func(a1, a2, b1, b2 int64) bool {
-		ka := EncodeKey([]Value{a1, a2})
-		kb := EncodeKey([]Value{b1, b2})
+		ka := EncodeKey([]Value{Int(a1), Int(a2)})
+		kb := EncodeKey([]Value{Int(b1), Int(b2)})
 		if a1 == b1 && a2 == b2 {
 			return ka == kb
 		}
@@ -128,20 +153,38 @@ func TestEncodeKeyInjective(t *testing.T) {
 }
 
 func TestEncodeKeyTypesDistinct(t *testing.T) {
-	if EncodeKey([]Value{int64(1)}) == EncodeKey([]Value{"1"}) {
+	if EncodeKey([]Value{Int(1)}) == EncodeKey([]Value{Str("1")}) {
 		t.Error("int and string encodings must differ")
 	}
-	if EncodeKey([]Value{nil}) == EncodeKey([]Value{""}) {
-		t.Error("nil and empty string encodings must differ")
+	if EncodeKey([]Value{Null}) == EncodeKey([]Value{Str("")}) {
+		t.Error("NULL and empty string encodings must differ")
+	}
+}
+
+// TestAppendKeyMatchesEncodeKey pins that the scratch-buffer path and the
+// allocating path produce identical encodings (the hash maps mix both).
+func TestAppendKeyMatchesEncodeKey(t *testing.T) {
+	keys := [][]Value{
+		{Int(42)},
+		{Int(-3), Float(2.5), Str("R")},
+		{Null, Bool(true), Bool(false)},
+		{Time(time.Unix(123, 456))},
+	}
+	buf := make([]byte, 0, 64)
+	for _, key := range keys {
+		buf = AppendKey(buf[:0], key)
+		if string(buf) != EncodeKey(key) {
+			t.Errorf("AppendKey(%v) = %q, EncodeKey = %q", key, buf, EncodeKey(key))
+		}
 	}
 }
 
 func TestRowSizeAndValueSize(t *testing.T) {
-	row := Row{int64(1), 2.5, "abc", nil, true}
+	row := Row{Int(1), Float(2.5), Str("abc"), Null, Bool(true)}
 	if got := RowSize(row); got != 4+8+8+(2+3)+1+1 {
 		t.Errorf("RowSize = %d", got)
 	}
-	if ValueSize(time.Now()) != 12 {
+	if ValueSize(Time(time.Now())) != 12 {
 		t.Error("time size should be 12")
 	}
 }
@@ -160,11 +203,11 @@ func TestRoundTo(t *testing.T) {
 
 func TestFormatValue(t *testing.T) {
 	cases := map[string]Value{
-		"NULL": nil,
-		"42":   int64(42),
-		"2.5":  2.5,
-		"abc":  "abc",
-		"true": true,
+		"NULL": Null,
+		"42":   Int(42),
+		"2.5":  Float(2.5),
+		"abc":  Str("abc"),
+		"true": Bool(true),
 	}
 	for want, v := range cases {
 		if got := FormatValue(v); got != want {
@@ -174,10 +217,10 @@ func TestFormatValue(t *testing.T) {
 }
 
 func TestRowClone(t *testing.T) {
-	r := Row{int64(1), "x"}
+	r := Row{Int(1), Str("x")}
 	c := r.Clone()
-	c[0] = int64(2)
-	if r[0] != int64(1) {
+	c[0] = Int(2)
+	if r[0] != Int(1) {
 		t.Error("Clone did not copy")
 	}
 }

@@ -29,7 +29,7 @@ func newTestServer(t *testing.T, cfg ServerConfig) (*des.Kernel, *Server) {
 }
 
 func obsValues(id int64) []relstore.Value {
-	return []relstore.Value{id, int64(1), int64(1), 53600.5, 120.0, 10.0, 1.2, "R", 140.0}
+	return []relstore.Value{relstore.Int(id), relstore.Int(1), relstore.Int(1), relstore.Float(53600.5), relstore.Float(120.0), relstore.Float(10.0), relstore.Float(1.2), relstore.Str("R"), relstore.Float(140.0)}
 }
 
 var obsColumns = []string{"obs_id", "run_id", "telescope_id", "mjd_start", "ra_center", "dec_center", "airmass", "filter_set", "exposure_s"}
