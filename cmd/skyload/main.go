@@ -12,21 +12,32 @@
 //	skyload -profile untuned night01/*.cat     # eager indices, frequent commits
 //	skyload -config campaign.json night01/*.cat # JSON campaign configuration
 //	skyload -size 200                          # no files: generate 200 MB in memory
+//	skyload -wallclock -loaders 4 -size 200    # real goroutines, wall-clock timing
 //
 // When -config is given the campaign file (see internal/loadconfig) supplies
 // the loader tunables, parallelism and database tuning, and the individual
 // -loaders/-batch/-array/-commit-every/-profile/-static flags are ignored.
+//
+// Execution modes: by default the load runs on the deterministic
+// discrete-event kernel and the reported load time is *virtual* — the time
+// the same run would have taken on the paper's hardware.  With -wallclock
+// the loaders are real goroutines against the concurrent engine, the
+// reported time is real elapsed time on this host, and the deterministic
+// simulation is run alongside so the report shows the real measurement next
+// to the virtual-time prediction.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"skyloader/internal/catalog"
 	"skyloader/internal/core"
 	"skyloader/internal/des"
+	"skyloader/internal/exec"
 	"skyloader/internal/loadconfig"
 	"skyloader/internal/parallel"
 	"skyloader/internal/relstore"
@@ -44,12 +55,15 @@ func main() {
 		static     = flag.Bool("static", false, "use static file assignment instead of dynamic")
 		profile    = flag.String("profile", "production", "tuning profile: production|untuned|query")
 		configPath = flag.String("config", "", "JSON campaign configuration file (overrides the tuning flags)")
-		size       = flag.Float64("size", 0, "generate one file of this nominal MB instead of reading files")
+		size       = flag.Float64("size", 0, "generate a catalog of this nominal MB instead of reading files")
+		nfiles     = flag.Int("files", 1, "number of files to split a generated -size catalog into (parallel loaders need >1)")
 		rowsPerMB  = flag.Int("rows-per-mb", 100, "generated rows per nominal MB (for -size and provenance)")
 		errRate    = flag.Float64("error-rate", 0.002, "error rate for generated input")
 		seed       = flag.Int64("seed", 1, "random seed")
 		provenance = flag.Bool("provenance", false, "record load_runs/load_errors provenance rows")
 		verbose    = flag.Bool("v", false, "print per-table row counts and skipped-row details")
+		wallclock  = flag.Bool("wallclock", false, "run loaders as real goroutines and report real elapsed time")
+		timescale  = flag.Float64("timescale", 0, "with -wallclock: multiply simulated service costs into real sleeps (0 = skip them)")
 	)
 	flag.Parse()
 
@@ -113,10 +127,17 @@ func main() {
 	// Assemble the input files: either read from disk or generate in memory.
 	var files []*catalog.File
 	if *size > 0 {
-		files = append(files, catalog.Generate(catalog.GenSpec{
-			SizeMB: *size, RowsPerMB: *rowsPerMB, Seed: *seed, ErrorRate: *errRate,
-			RunID: 1, IDBase: 10_000_000,
-		}))
+		if *nfiles > 1 {
+			files = append(files, catalog.GenerateNight(catalog.NightSpec{
+				TotalMB: *size, Files: *nfiles, RowsPerMB: *rowsPerMB,
+				Seed: *seed, ErrorRate: *errRate, RunID: 1,
+			})...)
+		} else {
+			files = append(files, catalog.Generate(catalog.GenSpec{
+				SizeMB: *size, RowsPerMB: *rowsPerMB, Seed: *seed, ErrorRate: *errRate,
+				RunID: 1, IDBase: 10_000_000,
+			}))
+		}
 	}
 	for i, path := range flag.Args() {
 		f, err := readCatalogFile(path, int64(i+1))
@@ -130,33 +151,104 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Build the simulated environment.
-	kernel := des.NewKernel(*seed)
-	db, err := relstore.NewDB(catalog.NewSchema(), dbCfg)
-	if err != nil {
-		fatal(err)
-	}
-	txn, err := db.Begin()
-	if err != nil {
-		fatal(err)
-	}
-	if err := catalog.SeedReference(txn, 32); err != nil {
-		fatal(err)
-	}
-	if _, err := txn.Commit(); err != nil {
-		fatal(err)
-	}
-	if err := tuning.ApplyIndexPolicy(db, indexPolicy); err != nil {
-		fatal(err)
-	}
-	server := sqlbatch.NewServer(kernel, db, srvCfg, sqlbatch.DefaultCostModel())
-
-	res, err := parallel.Run(server, files, clusterCfg)
-	if err != nil {
-		fatal(err)
+	// Build a fresh environment (database + server) on the given scheduler.
+	buildEnv := func(sched exec.Scheduler) (*sqlbatch.Server, *relstore.DB) {
+		db, err := relstore.NewDB(catalog.NewSchema(), dbCfg)
+		if err != nil {
+			fatal(err)
+		}
+		txn, err := db.Begin()
+		if err != nil {
+			fatal(err)
+		}
+		if err := catalog.SeedReference(txn, 32); err != nil {
+			fatal(err)
+		}
+		if _, err := txn.Commit(); err != nil {
+			fatal(err)
+		}
+		if err := tuning.ApplyIndexPolicy(db, indexPolicy); err != nil {
+			fatal(err)
+		}
+		return sqlbatch.NewServerOn(sched, db, srvCfg, sqlbatch.DefaultCostModel()), db
 	}
 
-	report(res, db, *verbose)
+	// The deterministic run: the virtual-time prediction every mode reports.
+	simServer, simDB := buildEnv(exec.NewDES(des.NewKernel(*seed)))
+	simRes, err := parallel.Run(simServer, files, clusterCfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*wallclock {
+		report(simRes, simDB, *verbose)
+		return
+	}
+
+	// The real run: loader goroutines against the concurrent engine.
+	rtServer, rtDB := buildEnv(exec.NewRealtime(exec.RealtimeConfig{Seed: *seed, TimeScale: *timescale}))
+	rtRes, err := parallel.Run(rtServer, files, clusterCfg)
+	if err != nil {
+		fatal(err)
+	}
+	reportWallclock(rtRes, simRes, rtDB, clusterCfg.Loaders, *verbose)
+}
+
+// reportWallclock prints the real measurement next to the virtual-time
+// prediction of the same configuration.
+func reportWallclock(rt, sim parallel.Result, db *relstore.DB, loaders int, verbose bool) {
+	t := rt.Total
+	fmt.Printf("execution mode:      wall-clock (%d loader goroutines on %d CPUs)\n", loaders, runtime.NumCPU())
+	fmt.Printf("files loaded:        %d\n", t.Files)
+	fmt.Printf("rows loaded:         %d\n", t.RowsLoaded)
+	fmt.Printf("rows skipped (db):   %d\n", t.RowsSkipped)
+	fmt.Printf("real load time:      %s\n", rt.WallTime)
+	fmt.Printf("real throughput:     %.3f MB/s (nominal)\n", rt.ThroughputMBps)
+	if rt.WallTime > 0 {
+		fmt.Printf("rows per second:     %.0f\n", float64(t.RowsLoaded)/rt.WallTime.Seconds())
+	}
+	fmt.Println("per-node throughput:")
+	for _, n := range rt.Nodes {
+		el := n.FinishedAt - n.StartedAt
+		mbps := 0.0
+		if el > 0 {
+			mbps = float64(n.Stats.NominalBytes) / 1e6 / el.Seconds()
+		}
+		fmt.Printf("  node %d: files=%d rows=%d elapsed=%s (%.3f MB/s)\n",
+			n.Node, len(n.FilesDone), n.Stats.RowsLoaded, el.Round(1e6), mbps)
+	}
+	fmt.Printf("virtual-time prediction (paper hardware): %s\n", sim.WallTime)
+	if rt.WallTime > 0 {
+		fmt.Printf("prediction / real:   %.1fx\n", sim.WallTime.Seconds()/rt.WallTime.Seconds())
+	}
+
+	if verbose {
+		printTableCounts(t.RowsLoadedByTable)
+	}
+	checkIntegrity(db)
+}
+
+// printTableCounts prints the sorted per-table row counts.
+func printTableCounts(byTable map[string]int) {
+	fmt.Println("\nrows loaded by table:")
+	tables := make([]string, 0, len(byTable))
+	for name := range byTable {
+		tables = append(tables, name)
+	}
+	sort.Strings(tables)
+	for _, name := range tables {
+		fmt.Printf("  %-22s %8d\n", name, byTable[name])
+	}
+}
+
+// checkIntegrity verifies referential integrity and exits nonzero on orphans.
+func checkIntegrity(db *relstore.DB) {
+	orphans, _ := db.VerifyIntegrity()
+	if orphans != 0 {
+		fmt.Printf("\nWARNING: %d orphaned rows detected after load\n", orphans)
+		os.Exit(1)
+	}
+	fmt.Println("referential integrity: OK")
 }
 
 func profileByName(name string) (tuning.Profile, error) {
@@ -210,15 +302,7 @@ func report(res parallel.Result, db *relstore.DB, verbose bool) {
 	fmt.Printf("throughput:          %.3f MB/s (nominal)\n", res.ThroughputMBps)
 
 	if verbose {
-		fmt.Println("\nrows loaded by table:")
-		tables := make([]string, 0, len(t.RowsLoadedByTable))
-		for name := range t.RowsLoadedByTable {
-			tables = append(tables, name)
-		}
-		sort.Strings(tables)
-		for _, name := range tables {
-			fmt.Printf("  %-22s %8d\n", name, t.RowsLoadedByTable[name])
-		}
+		printTableCounts(t.RowsLoadedByTable)
 		if len(t.Skipped) > 0 {
 			fmt.Println("\nskipped rows:")
 			max := len(t.Skipped)
@@ -234,12 +318,7 @@ func report(res parallel.Result, db *relstore.DB, verbose bool) {
 		}
 	}
 
-	orphans, _ := db.VerifyIntegrity()
-	if orphans != 0 {
-		fmt.Printf("\nWARNING: %d orphaned rows detected after load\n", orphans)
-		os.Exit(1)
-	}
-	fmt.Println("referential integrity: OK")
+	checkIntegrity(db)
 }
 
 func fatal(err error) {

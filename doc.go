@@ -10,11 +10,14 @@
 //   - internal/arrayset   — the array-set buffering structure (§4.3)
 //   - internal/parallel   — the cluster coordinator with dynamic assignment (§4.4)
 //   - internal/tuning     — the §4.5 database and system tuning profiles
-//   - internal/relstore   — the embedded relational engine standing in for Oracle 10g
+//   - internal/relstore   — the embedded relational engine standing in for Oracle 10g,
+//     safe for concurrent writer transactions
 //   - internal/sqlbatch   — the JDBC-like batch client/server with the calibrated cost model
 //   - internal/catalog    — the Palomar-Quest data model, file format, parser and generator
 //   - internal/htm        — Hierarchical Triangular Mesh ids for object positions
 //   - internal/des        — the deterministic discrete-event simulation kernel
+//   - internal/exec       — the execution abstraction (Scheduler/Worker/Resource) with a
+//     DES implementation and a goroutine-backed realtime implementation
 //   - internal/experiments — regeneration of every figure of §5 plus ablations
 //
 // The benchmarks in bench_test.go regenerate the paper's evaluation; the
@@ -33,6 +36,27 @@
 // and only keys that are actually stored materialize a string.  PERFORMANCE.md
 // describes the conventions and records the measured effect (BENCH_rowpath.json
 // holds the before/after numbers).
+//
+// # Execution modes
+//
+// Everything above the storage engine runs against internal/exec's Scheduler
+// abstraction, which has two implementations:
+//
+//   - Deterministic DES mode (exec.NewDES): loaders, server CPUs, disks and
+//     transaction slots are processes and resources on the discrete-event
+//     kernel; at most one process runs at a time, time is virtual, and a seed
+//     fully determines the trace.  All §5 figures regenerate in this mode.
+//
+//   - Wall-clock mode (exec.NewRealtime): every loader is a real goroutine,
+//     resources block on FIFO condition queues, and the concurrent relstore
+//     engine (per-table locks, atomic counters, per-transaction scratch
+//     buffers, blocking admission) absorbs genuinely parallel writers.
+//     `skyload -wallclock` and examples/wallclock_load report real elapsed
+//     time next to the virtual-time prediction.
+//
+// PERFORMANCE.md documents when to use which mode and the scratch-buffer
+// ownership rules that keep the insert path allocation-lean under
+// concurrency; BENCH_concurrency.json records the measured numbers.
 package skyloader
 
 // Version identifies this reproduction release.

@@ -17,6 +17,7 @@ import (
 	"skyloader/internal/catalog"
 	"skyloader/internal/core"
 	"skyloader/internal/des"
+	"skyloader/internal/exec"
 	"skyloader/internal/relstore"
 	"skyloader/internal/sqlbatch"
 )
@@ -33,8 +34,8 @@ func load(errorRate float64) (core.Stats, *relstore.DB) {
 	if _, err := txn.Commit(); err != nil {
 		log.Fatal(err)
 	}
-	kernel := des.NewKernel(9)
-	server := sqlbatch.NewServer(kernel, db, sqlbatch.DefaultServerConfig(), sqlbatch.DefaultCostModel())
+	sched := exec.NewDES(des.NewKernel(9))
+	server := sqlbatch.NewServerOn(sched, db, sqlbatch.DefaultServerConfig(), sqlbatch.DefaultCostModel())
 
 	file := catalog.Generate(catalog.GenSpec{
 		SizeMB:    40,
@@ -45,8 +46,8 @@ func load(errorRate float64) (core.Stats, *relstore.DB) {
 	})
 
 	var stats core.Stats
-	kernel.Spawn("loader", func(p *des.Proc) {
-		conn := server.Connect(p)
+	sched.Spawn("loader", func(w exec.Worker) {
+		conn := server.ConnectWorker(w)
 		defer conn.Close()
 		cfg := core.DefaultConfig()
 		cfg.RecordProvenance = true
@@ -59,7 +60,7 @@ func load(errorRate float64) (core.Stats, *relstore.DB) {
 			log.Fatal(err)
 		}
 	})
-	kernel.Run()
+	sched.Run()
 	return stats, db
 }
 

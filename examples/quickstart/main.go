@@ -15,6 +15,7 @@ import (
 	"skyloader/internal/catalog"
 	"skyloader/internal/core"
 	"skyloader/internal/des"
+	"skyloader/internal/exec"
 	"skyloader/internal/relstore"
 	"skyloader/internal/sqlbatch"
 	"skyloader/internal/tuning"
@@ -54,14 +55,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. The simulated database server and one loader process on the
-	//    discrete-event kernel.
-	kernel := des.NewKernel(1)
-	server := sqlbatch.NewServer(kernel, db, sqlbatch.DefaultServerConfig(), sqlbatch.DefaultCostModel())
+	// 3. The simulated database server and one loader worker on the
+	//    deterministic execution scheduler (swap exec.NewDES for
+	//    exec.NewRealtime to run the same code on real goroutines — see
+	//    examples/wallclock_load).
+	sched := exec.NewDES(des.NewKernel(1))
+	server := sqlbatch.NewServerOn(sched, db, sqlbatch.DefaultServerConfig(), sqlbatch.DefaultCostModel())
 
 	var stats core.Stats
-	kernel.Spawn("loader", func(p *des.Proc) {
-		conn := server.Connect(p)
+	sched.Spawn("loader", func(w exec.Worker) {
+		conn := server.ConnectWorker(w)
 		defer conn.Close()
 		loader, err := core.NewLoader(conn, core.DefaultConfig())
 		if err != nil {
@@ -72,7 +75,7 @@ func main() {
 			log.Fatal(err)
 		}
 	})
-	kernel.Run()
+	sched.Run()
 
 	// 4. Results: loading statistics and a couple of queries.
 	fmt.Printf("\nloaded %d rows (%d skipped, %d rejected client-side) in %s of virtual time\n",

@@ -16,6 +16,7 @@ import (
 	"skyloader/internal/catalog"
 	"skyloader/internal/core"
 	"skyloader/internal/des"
+	"skyloader/internal/exec"
 	"skyloader/internal/metrics"
 	"skyloader/internal/relstore"
 	"skyloader/internal/sqlbatch"
@@ -39,16 +40,16 @@ func runOnce(prof tuning.Profile) core.Stats {
 	if err := prof.Apply(db); err != nil {
 		log.Fatal(err)
 	}
-	kernel := des.NewKernel(4)
-	server := sqlbatch.NewServer(kernel, db, prof.ServerConfig(), sqlbatch.DefaultCostModel())
+	sched := exec.NewDES(des.NewKernel(4))
+	server := sqlbatch.NewServerOn(sched, db, prof.ServerConfig(), sqlbatch.DefaultCostModel())
 
 	file := catalog.Generate(catalog.GenSpec{
 		SizeMB: 200, Seed: 31, ErrorRate: 0.002, RunID: 1, IDBase: 10_000_000,
 	})
 
 	var stats core.Stats
-	kernel.Spawn("loader", func(p *des.Proc) {
-		conn := server.Connect(p)
+	sched.Spawn("loader", func(w exec.Worker) {
+		conn := server.ConnectWorker(w)
 		defer conn.Close()
 		cfg := core.DefaultConfig()
 		cfg.CommitEveryBatches = prof.CommitEveryBatches
@@ -61,7 +62,7 @@ func runOnce(prof tuning.Profile) core.Stats {
 			log.Fatal(err)
 		}
 	})
-	kernel.Run()
+	sched.Run()
 	return stats
 }
 

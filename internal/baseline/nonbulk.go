@@ -56,19 +56,19 @@ func (l *NonBulkLoader) Stats() core.Stats { return l.stats }
 
 // LoadFiles loads the files sequentially.
 func (l *NonBulkLoader) LoadFiles(files []*catalog.File) (core.Stats, error) {
-	start := l.conn.Proc().Now()
+	start := l.conn.Worker().Now()
 	for _, f := range files {
 		if err := l.LoadFile(f); err != nil {
 			return l.stats, err
 		}
 	}
-	l.stats.Elapsed = l.conn.Proc().Now() - start
+	l.stats.Elapsed = l.conn.Worker().Now() - start
 	return l.stats, nil
 }
 
 // LoadFile loads one catalog file row by row.
 func (l *NonBulkLoader) LoadFile(f *catalog.File) error {
-	fileStart := l.conn.Proc().Now()
+	fileStart := l.conn.Worker().Now()
 	l.currentFile = f.Name
 	l.stats.Files++
 	l.stats.NominalBytes += f.NominalBytes
@@ -112,7 +112,7 @@ func (l *NonBulkLoader) LoadFile(f *catalog.File) error {
 	if err := l.commit(); err != nil {
 		return err
 	}
-	if d := l.conn.Proc().Now() - fileStart; d > l.stats.Elapsed {
+	if d := l.conn.Worker().Now() - fileStart; d > l.stats.Elapsed {
 		l.stats.Elapsed = d
 	}
 	return nil
@@ -147,5 +147,5 @@ func (l *NonBulkLoader) commit() error {
 // ElapsedSince is a small helper returning the virtual time since start for
 // callers composing their own timing windows.
 func ElapsedSince(conn *sqlbatch.Conn, start time.Duration) time.Duration {
-	return conn.Proc().Now() - start
+	return conn.Worker().Now() - start
 }

@@ -7,7 +7,7 @@ import (
 
 	"skyloader/internal/catalog"
 	"skyloader/internal/core"
-	"skyloader/internal/des"
+	"skyloader/internal/exec"
 	"skyloader/internal/relstore"
 	"skyloader/internal/sqlbatch"
 )
@@ -110,7 +110,7 @@ func (l *TwoPhaseLoader) Stats() core.Stats { return l.stats }
 
 // LoadFiles performs the full two-phase load of the given files.
 func (l *TwoPhaseLoader) LoadFiles(files []*catalog.File) (core.Stats, error) {
-	start := l.conn.Proc().Now()
+	start := l.conn.Worker().Now()
 	var pendingMB float64
 	for _, f := range files {
 		if err := l.loadIntoTask(f); err != nil {
@@ -127,7 +127,7 @@ func (l *TwoPhaseLoader) LoadFiles(files []*catalog.File) (core.Stats, error) {
 	if err := l.validateAndPublish(); err != nil {
 		return l.stats, err
 	}
-	l.stats.Elapsed = l.conn.Proc().Now() - start
+	l.stats.Elapsed = l.conn.Worker().Now() - start
 	return l.stats, nil
 }
 
@@ -260,5 +260,5 @@ func (l *TwoPhaseLoader) publishTable(table string) error {
 	return nil
 }
 
-// Proc returns the loader's simulation process (for timing windows in tests).
-func (l *TwoPhaseLoader) Proc() *des.Proc { return l.conn.Proc() }
+// Worker returns the loader's execution worker (for timing windows in tests).
+func (l *TwoPhaseLoader) Worker() exec.Worker { return l.conn.Worker() }

@@ -202,13 +202,13 @@ func (l *Loader) Config() Config { return l.cfg }
 // LoadFiles loads the given catalog files sequentially and returns the
 // accumulated statistics.  Elapsed time covers the whole call.
 func (l *Loader) LoadFiles(files []*catalog.File) (Stats, error) {
-	start := l.conn.Proc().Now()
+	start := l.conn.Worker().Now()
 	for _, f := range files {
 		if err := l.LoadFile(f); err != nil {
 			return l.stats, err
 		}
 	}
-	l.stats.Elapsed = l.conn.Proc().Now() - start
+	l.stats.Elapsed = l.conn.Worker().Now() - start
 	return l.stats, nil
 }
 
@@ -217,7 +217,7 @@ func (l *Loader) LoadFiles(files []*catalog.File) (Stats, error) {
 // in parent-child order when any array fills, skip error rows, commit
 // infrequently).
 func (l *Loader) LoadFile(f *catalog.File) error {
-	fileStart := l.conn.Proc().Now()
+	fileStart := l.conn.Worker().Now()
 	l.currentFile = f.Name
 	l.stats.Files++
 	l.stats.NominalBytes += f.NominalBytes
@@ -250,8 +250,8 @@ func (l *Loader) LoadFile(f *catalog.File) error {
 	if err := l.commit(); err != nil {
 		return err
 	}
-	if l.stats.Elapsed < l.conn.Proc().Now()-fileStart {
-		l.stats.Elapsed = l.conn.Proc().Now() - fileStart
+	if l.stats.Elapsed < l.conn.Worker().Now()-fileStart {
+		l.stats.Elapsed = l.conn.Worker().Now() - fileStart
 	}
 	return nil
 }

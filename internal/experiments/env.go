@@ -16,6 +16,7 @@ import (
 	"skyloader/internal/catalog"
 	"skyloader/internal/core"
 	"skyloader/internal/des"
+	"skyloader/internal/exec"
 	"skyloader/internal/relstore"
 	"skyloader/internal/sqlbatch"
 	"skyloader/internal/tuning"
@@ -62,6 +63,10 @@ func (c Config) withDefaults() Config {
 // unless otherwise noted".
 type Env struct {
 	Kernel *des.Kernel
+	// Sched is the DES kernel behind the execution abstraction; every
+	// experiment runs deterministically on it (wall-clock mode exists for
+	// real loads, not for figure regeneration).
+	Sched  exec.Scheduler
 	DB     *relstore.DB
 	Server *sqlbatch.Server
 }
@@ -108,8 +113,9 @@ func NewEnv(opt EnvOptions) (*Env, error) {
 	if opt.PrePopulateGB > 0 {
 		db.PrePopulateEvenly(int64(opt.PrePopulateGB * 1e9))
 	}
-	server := sqlbatch.NewServer(kernel, db, opt.ServerConfig, opt.Cost)
-	return &Env{Kernel: kernel, DB: db, Server: server}, nil
+	sched := exec.NewDES(kernel)
+	server := sqlbatch.NewServerOn(sched, db, opt.ServerConfig, opt.Cost)
+	return &Env{Kernel: kernel, Sched: sched, DB: db, Server: server}, nil
 }
 
 // SingleLoadSpec describes one single-process load measurement.
@@ -139,8 +145,8 @@ func (e *Env) RunSingleLoad(spec SingleLoadSpec) (core.Stats, error) {
 	})
 	var stats core.Stats
 	var runErr error
-	e.Kernel.Spawn("single-loader", func(p *des.Proc) {
-		conn := e.Server.Connect(p)
+	e.Sched.Spawn("single-loader", func(w exec.Worker) {
+		conn := e.Server.ConnectWorker(w)
 		defer conn.Close()
 		if spec.NonBulk {
 			nb := baseline.NewNonBulkLoader(conn, baseline.NonBulkConfig{
@@ -157,6 +163,6 @@ func (e *Env) RunSingleLoad(spec SingleLoadSpec) (core.Stats, error) {
 		}
 		stats, runErr = loader.LoadFiles([]*catalog.File{file})
 	})
-	e.Kernel.Run()
+	e.Sched.Run()
 	return stats, runErr
 }

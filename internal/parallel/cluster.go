@@ -4,16 +4,24 @@
 // a node finishes a file it takes the next unloaded one) or statically
 // (pre-partitioned).  Dynamic assignment is the paper's choice because the 28
 // files of an observation vary in size and error density.
+//
+// The coordinator is execution-agnostic: it spawns loader workers on
+// whichever exec.Scheduler the server was built with.  On the DES scheduler
+// the loaders are simulation processes sharing one virtual clock (the mode
+// every §5 figure uses); on the realtime scheduler each loader is a real
+// goroutine and the dynamic queue becomes a channel, so the load genuinely
+// runs in parallel and WallTime is real elapsed time.
 package parallel
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"skyloader/internal/baseline"
 	"skyloader/internal/catalog"
 	"skyloader/internal/core"
-	"skyloader/internal/des"
+	"skyloader/internal/exec"
 	"skyloader/internal/sqlbatch"
 )
 
@@ -68,19 +76,67 @@ type Result struct {
 	// Total aggregates all node statistics.
 	Total core.Stats
 	// WallTime is the makespan: from the first node starting to the last
-	// node finishing, in virtual time.
+	// node finishing.  It is virtual time under the DES scheduler and real
+	// elapsed time under the realtime scheduler.
 	WallTime time.Duration
-	// ThroughputMBps is nominal megabytes loaded per virtual second of
-	// makespan.
+	// ThroughputMBps is nominal megabytes loaded per second of makespan.
 	ThroughputMBps float64
 	// Server is the database server's counter snapshot after the run.
 	Server sqlbatch.ServerStats
 }
 
+// fileQueue is the dynamic-assignment work queue.  Under the deterministic
+// scheduler it is a plain cursor (only one process runs at a time, and the
+// take order must replay identically for byte-identical figures); under the
+// realtime scheduler it is a pre-filled closed channel, the idiomatic dynamic
+// handoff between real loader goroutines.
+type fileQueue struct {
+	deterministic bool
+
+	mu   sync.Mutex
+	list []*catalog.File
+	next int
+
+	ch chan *catalog.File
+}
+
+func newFileQueue(files []*catalog.File, deterministic bool) *fileQueue {
+	q := &fileQueue{deterministic: deterministic}
+	if deterministic {
+		q.list = files
+		return q
+	}
+	q.ch = make(chan *catalog.File, len(files))
+	for _, f := range files {
+		q.ch <- f
+	}
+	close(q.ch)
+	return q
+}
+
+// take returns the next unloaded file, or nil when the queue is drained.
+func (q *fileQueue) take() *catalog.File {
+	if q.deterministic {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if q.next >= len(q.list) {
+			return nil
+		}
+		f := q.list[q.next]
+		q.next++
+		return f
+	}
+	f, ok := <-q.ch
+	if !ok {
+		return nil
+	}
+	return f
+}
+
 // Run performs a cluster load of files against server using cfg.Loaders
-// concurrent loader processes, driving the server's simulation kernel until
-// every node finishes.  It must be called before the kernel has been run for
-// other purposes in the same virtual-time window.
+// concurrent loader workers, driving the server's scheduler until every node
+// finishes.  It must be called before the scheduler has been run for other
+// purposes in the same time window.
 func Run(server *sqlbatch.Server, files []*catalog.File, cfg Config) (Result, error) {
 	if cfg.Loaders <= 0 {
 		cfg.Loaders = 1
@@ -88,26 +144,15 @@ func Run(server *sqlbatch.Server, files []*catalog.File, cfg Config) (Result, er
 	if len(files) == 0 {
 		return Result{}, fmt.Errorf("parallel: no files to load")
 	}
-	k := server.Kernel()
+	sched := server.Scheduler()
 
-	// Work queue shared by all nodes.  Only one DES process runs at a time,
-	// so plain variables are safe.
-	queue := append([]*catalog.File{}, files...)
-	next := 0
-	takeDynamic := func() *catalog.File {
-		if next >= len(queue) {
-			return nil
-		}
-		f := queue[next]
-		next++
-		return f
-	}
+	queue := newFileQueue(append([]*catalog.File{}, files...), sched.Deterministic())
 
 	// Static pre-partition: files are dealt round-robin, which is how an
 	// even split is usually done when sizes are unknown.
 	static := make([][]*catalog.File, cfg.Loaders)
 	if cfg.Assignment == Static {
-		for i, f := range queue {
+		for i, f := range files {
 			static[i%cfg.Loaders] = append(static[i%cfg.Loaders], f)
 		}
 	}
@@ -116,14 +161,14 @@ func Run(server *sqlbatch.Server, files []*catalog.File, cfg Config) (Result, er
 	for n := 0; n < cfg.Loaders; n++ {
 		n := n
 		start := time.Duration(n) * cfg.StartStagger
-		k.SpawnAt(start, fmt.Sprintf("loader-%02d", n+1), func(p *des.Proc) {
+		sched.SpawnAt(start, fmt.Sprintf("loader-%02d", n+1), func(w exec.Worker) {
 			res := &results[n]
 			res.Node = n + 1
-			res.StartedAt = p.Now()
-			conn := server.Connect(p)
+			res.StartedAt = w.Now()
+			conn := server.ConnectWorker(w)
 			defer func() {
 				_ = conn.Close()
-				res.FinishedAt = p.Now()
+				res.FinishedAt = w.Now()
 			}()
 
 			loaderCfg := cfg.Loader
@@ -167,7 +212,7 @@ func Run(server *sqlbatch.Server, files []*catalog.File, cfg Config) (Result, er
 				return
 			}
 			for {
-				f := takeDynamic()
+				f := queue.take()
 				if f == nil {
 					return
 				}
@@ -180,7 +225,7 @@ func Run(server *sqlbatch.Server, files []*catalog.File, cfg Config) (Result, er
 		})
 	}
 
-	k.Run()
+	sched.Run()
 
 	out := Result{Nodes: results, Server: server.Stats()}
 	out.Total.RowsLoadedByTable = make(map[string]int)

@@ -37,18 +37,20 @@ func TestInsertPreparedAllocBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	tbl := db.Table("fingers")
+	var sc scratch
 	var id int64
-	// Warm the table so steady-state growth is amortized.
+	// Warm the table (and the per-goroutine scratch) so steady-state growth
+	// is amortized.
 	for ; id < 4096; id++ {
 		row := Row{Int(id), Int(id), Float(float64(id % 64))}
-		if _, _, err := tbl.insertPrepared(row); err != nil {
+		if _, _, _, err := tbl.insertPrepared(&sc, row); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(4096, func() {
 		id++
 		row := Row{Int(id), Int(id), Float(float64(id % 64))}
-		if _, _, err := tbl.insertPrepared(row); err != nil {
+		if _, _, _, err := tbl.insertPrepared(&sc, row); err != nil {
 			t.Fatal(err)
 		}
 	})

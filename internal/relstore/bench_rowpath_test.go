@@ -25,11 +25,12 @@ func benchInsertDB(b *testing.B) (*DB, *Table) {
 // per-row cost the paper's array-set batching exists to amortize.
 func BenchmarkInsertPrepared(b *testing.B) {
 	_, tbl := benchInsertDB(b)
+	var sc scratch
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		row := Row{Int(int64(i)), Int(int64(i)), Float(float64(i % 4096))}
-		if _, _, err := tbl.insertPrepared(row); err != nil {
+		if _, _, _, err := tbl.insertPrepared(&sc, row); err != nil {
 			b.Fatal(err)
 		}
 	}

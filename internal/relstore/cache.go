@@ -1,6 +1,9 @@
 package relstore
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
 // BufferCache models the database block buffer cache ("data cache").  The
 // paper (§4.5.5) found that a *smaller* data cache improves bulk-load
@@ -8,7 +11,13 @@ import "container/list"
 // it flushes newly written blocks to disk; the cache therefore reports both
 // miss counts and the number of cached pages scanned per flush so the cost
 // model can reproduce that effect.
+//
+// The cache is one shared structure (as in the modeled database) and is
+// guarded by a single mutex; MaybeFlushDirty makes the dirty-threshold check
+// and the flush one atomic step so concurrent writers cannot double-run the
+// database writer for the same batch of dirty pages.
 type BufferCache struct {
+	mu       sync.Mutex
 	capacity int // pages
 	lru      *list.List
 	index    map[pageKey]*list.Element
@@ -48,12 +57,18 @@ func NewBufferCache(capacity int) *BufferCache {
 func (c *BufferCache) Capacity() int { return c.capacity }
 
 // Len returns the number of pages currently cached.
-func (c *BufferCache) Len() int { return c.lru.Len() }
+func (c *BufferCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
 
 // Touch records an access to the given page, marking it dirty when dirty is
 // true.  It returns whether the access missed and how many pages were evicted
 // to make room.
 func (c *BufferCache) Touch(table string, pageID int, dirty bool) (miss bool, evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	k := pageKey{table: table, page: pageID}
 	if el, ok := c.index[k]; ok {
 		c.hits++
@@ -93,6 +108,13 @@ func (c *BufferCache) Touch(table string, pageID int, dirty bool) (miss bool, ev
 // capacity — not just the resident pages — which is the mechanism behind the
 // paper's §4.5.5 observation that a *smaller* data cache loads faster.
 func (c *BufferCache) FlushDirty() (written, scanned int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushDirtyLocked()
+}
+
+// flushDirtyLocked is FlushDirty with c.mu already held.
+func (c *BufferCache) flushDirtyLocked() (written, scanned int) {
 	c.flushes++
 	for el := c.lru.Front(); el != nil; el = el.Next() {
 		ent := el.Value.(*cacheEntry)
@@ -107,9 +129,26 @@ func (c *BufferCache) FlushDirty() (written, scanned int) {
 	return written, scanned
 }
 
+// MaybeFlushDirty runs the database writer only if at least threshold pages
+// were dirtied since the last flush, performing the check and the flush as
+// one atomic step.  It reports whether the flush ran.
+func (c *BufferCache) MaybeFlushDirty(threshold int) (written, scanned int, flushed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dirtySinceFlush < threshold {
+		return 0, 0, false
+	}
+	written, scanned = c.flushDirtyLocked()
+	return written, scanned, true
+}
+
 // DirtySinceFlush returns the number of dirty-page touches since the database
 // writer last ran.
-func (c *BufferCache) DirtySinceFlush() int { return c.dirtySinceFlush }
+func (c *BufferCache) DirtySinceFlush() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dirtySinceFlush
+}
 
 // CacheStats is a snapshot of buffer-cache counters.
 type CacheStats struct {
@@ -124,6 +163,8 @@ type CacheStats struct {
 
 // Stats returns a snapshot of the cache counters.
 func (c *BufferCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return CacheStats{
 		Capacity: c.capacity,
 		Resident: c.lru.Len(),
@@ -137,6 +178,8 @@ func (c *BufferCache) Stats() CacheStats {
 
 // HitRatio returns hits / (hits+misses), or 0 when there were no accesses.
 func (c *BufferCache) HitRatio() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	total := c.hits + c.misses
 	if total == 0 {
 		return 0

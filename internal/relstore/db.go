@@ -3,6 +3,8 @@ package relstore
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Config controls engine-level knobs that the paper tunes in §4.5.
@@ -34,6 +36,13 @@ func DefaultConfig() Config {
 }
 
 // DB is an embedded relational database instance.
+//
+// Concurrency: the engine is safe for concurrent transactions on separate
+// goroutines.  The table set is immutable after NewDB; each Table carries its
+// own lock, the lock manager, WAL and buffer cache carry theirs, and the
+// engine-wide counters are atomics, so writers to different tables proceed in
+// parallel and writers to the same table serialize only for the in-memory
+// critical section of the row store.
 type DB struct {
 	schema *Schema
 	cfg    Config
@@ -43,12 +52,28 @@ type DB struct {
 	wal    *WAL
 	cache  *BufferCache
 
-	nextTxn int64
-	stats   DBStats
+	nextTxn  atomic.Int64
+	counters dbCounters
 
-	// fkKeyScratch is the reusable composite-key buffer for foreign-key
-	// lookups (single-threaded simulation; see Table.keyScratch).
-	fkKeyScratch []Value
+	// scratchPool recycles the per-transaction key/encoding scratch buffers
+	// (see scratch.go) so the insert path stays allocation-lean across
+	// transactions.
+	scratchPool sync.Pool
+}
+
+// dbCounters is the engine-wide statistics, kept as atomics (plus one small
+// mutex-guarded map) so concurrent writers never contend on a stats lock.
+type dbCounters struct {
+	rowsInserted  atomic.Int64
+	rowsRejected  atomic.Int64
+	transactions  atomic.Int64
+	commits       atomic.Int64
+	rollbacks     atomic.Int64
+	indexSplits   atomic.Int64
+	lockConflicts atomic.Int64
+
+	violMu     sync.Mutex
+	violations map[ConstraintKind]int64
 }
 
 // NewDB creates a database for the given schema.
@@ -72,8 +97,9 @@ func NewDB(schema *Schema, cfg Config) (*DB, error) {
 		locks:  NewLockManager(cfg.MaxConcurrentTxns),
 		wal:    NewWAL(),
 		cache:  NewBufferCache(cfg.CachePages),
-		stats:  newDBStats(),
 	}
+	db.counters.violations = make(map[ConstraintKind]int64)
+	db.scratchPool.New = func() any { return new(scratch) }
 	for _, ts := range schema.Tables() {
 		t, err := newTable(ts, cfg.BTreeDegree)
 		if err != nil {
@@ -111,13 +137,27 @@ func (db *DB) WAL() *WAL { return db.wal }
 // Cache returns the buffer cache.
 func (db *DB) Cache() *BufferCache { return db.cache }
 
-// Stats returns a copy of the engine-wide counters.
+// Stats returns a snapshot of the engine-wide counters.  Derived quantities
+// (pages allocated, log bytes) are computed at snapshot time from their
+// owning components rather than being re-derived on every insert.
 func (db *DB) Stats() DBStats {
-	out := db.stats
-	out.ConstraintViolations = make(map[ConstraintKind]int64, len(db.stats.ConstraintViolations))
-	for k, v := range db.stats.ConstraintViolations {
+	out := DBStats{
+		RowsInserted:   db.counters.rowsInserted.Load(),
+		RowsRejected:   db.counters.rowsRejected.Load(),
+		Transactions:   db.counters.transactions.Load(),
+		Commits:        db.counters.commits.Load(),
+		Rollbacks:      db.counters.rollbacks.Load(),
+		IndexSplits:    db.counters.indexSplits.Load(),
+		LockConflicts:  db.counters.lockConflicts.Load(),
+		PagesAllocated: db.pagesAllocated(),
+		LogBytes:       db.wal.Stats().Bytes,
+	}
+	db.counters.violMu.Lock()
+	out.ConstraintViolations = make(map[ConstraintKind]int64, len(db.counters.violations))
+	for k, v := range db.counters.violations {
 		out.ConstraintViolations[k] = v
 	}
+	db.counters.violMu.Unlock()
 	return out
 }
 
@@ -150,14 +190,17 @@ func (db *DB) RowCounts() map[string]int64 {
 }
 
 // checkForeignKeys verifies every foreign key of the row; NULL components are
-// treated as satisfied (SQL MATCH SIMPLE semantics).
-func (db *DB) checkForeignKeys(ts *TableSchema, row Row, rep *OpReport) error {
+// treated as satisfied (SQL MATCH SIMPLE semantics).  Each parent probe takes
+// the parent table's read lock for just the hash lookup — except a parent
+// equal to heldLock, whose mutex the caller already holds (VerifyIntegrity
+// scanning a self-referential table; re-acquiring it could deadlock behind a
+// queued writer).  Like the production system's deferred constraint checking,
+// a parent row rolled back between the probe and the child's commit is caught
+// by VerifyIntegrity, not here.
+func (db *DB) checkForeignKeys(sc *scratch, ts *TableSchema, row Row, rep *OpReport, heldLock *Table) error {
 	for _, fk := range ts.ForeignKeys {
 		rep.ConstraintChecks++
-		if cap(db.fkKeyScratch) < len(fk.Columns) {
-			db.fkKeyScratch = make([]Value, len(fk.Columns))
-		}
-		key := db.fkKeyScratch[:len(fk.Columns)]
+		key := sc.fkKey(len(fk.Columns))
 		null := false
 		for i, c := range fk.Columns {
 			v := row[ts.ColumnIndex(c)]
@@ -172,7 +215,17 @@ func (db *DB) checkForeignKeys(ts *TableSchema, row Row, rep *OpReport) error {
 		}
 		parent := db.tables[fk.RefTable]
 		rep.FKLookups++
-		if parent == nil || !parent.lookupPK(key) {
+		found := false
+		if parent != nil {
+			if parent != heldLock {
+				parent.mu.RLock()
+			}
+			found = parent.lookupPK(sc, key)
+			if parent != heldLock {
+				parent.mu.RUnlock()
+			}
+		}
+		if !found {
 			return &ConstraintError{Kind: KindForeignKey, Table: ts.Name, Constraint: fk.Name,
 				Detail: fmt.Sprintf("no parent row in %q for key %s", fk.RefTable, EncodeKey(key))}
 		}
@@ -186,20 +239,21 @@ func (db *DB) insert(txn *Txn, tableName string, columns []string, values []Valu
 	var rep OpReport
 	t, ok := db.tables[tableName]
 	if !ok {
-		db.stats.RowsRejected++
-		db.stats.ConstraintViolations[KindUnknownTable]++
+		db.counters.rowsRejected.Add(1)
+		db.recordViolationKind(KindUnknownTable)
 		return rep, &ConstraintError{Kind: KindUnknownTable, Table: tableName}
 	}
+	sc := txn.sc
 	row, err := t.buildRow(columns, values)
 	if err != nil {
 		db.recordViolation(err)
 		return rep, err
 	}
-	if err := db.checkForeignKeys(t.schema, row, &rep); err != nil {
+	if err := db.checkForeignKeys(sc, t.schema, row, &rep, nil); err != nil {
 		db.recordViolation(err)
 		return rep, err
 	}
-	id, insRep, err := t.insertPrepared(row)
+	id, loc, insRep, err := t.insertPrepared(sc, row)
 	rep.Add(insRep)
 	if err != nil {
 		db.recordViolation(err)
@@ -214,10 +268,9 @@ func (db *DB) insert(txn *Txn, tableName string, columns []string, values []Valu
 		panic(lockErr)
 	}
 	if other > 0 {
-		db.stats.LockConflicts++
+		db.counters.lockConflicts.Add(1)
 	}
 	rep.LogBytes += db.wal.AppendInsert(rep.RowBytes + rep.IndexEntryBytes)
-	loc := t.rows[id]
 	miss, _ := db.cache.Touch(tableName, loc.pageIdx, true)
 	if miss {
 		rep.CacheMisses++
@@ -226,25 +279,28 @@ func (db *DB) insert(txn *Txn, tableName string, columns []string, values []Valu
 	// writer searches the whole allocated cache for them.  The inserting
 	// session pays for that search, which is why a smaller data cache loads
 	// faster (§4.5.5).
-	if db.cache.DirtySinceFlush() >= db.cfg.DirtyFlushPages {
-		_, scanned := db.cache.FlushDirty()
+	if _, scanned, flushed := db.cache.MaybeFlushDirty(db.cfg.DirtyFlushPages); flushed {
 		rep.CacheScanPages += scanned
 	}
 
 	txn.recordInsert(tableName, id)
 	rep.UndoRecords++
-	db.stats.RowsInserted++
-	db.stats.PagesAllocated = db.pagesAllocated()
-	db.stats.LogBytes = db.wal.bytes
-	db.stats.IndexSplits += int64(insRep.IndexSplits)
+	db.counters.rowsInserted.Add(1)
+	db.counters.indexSplits.Add(int64(insRep.IndexSplits))
 	return rep, nil
 }
 
 func (db *DB) recordViolation(err error) {
-	db.stats.RowsRejected++
+	db.counters.rowsRejected.Add(1)
 	if kind, ok := ViolationKind(err); ok {
-		db.stats.ConstraintViolations[kind]++
+		db.recordViolationKind(kind)
 	}
+}
+
+func (db *DB) recordViolationKind(kind ConstraintKind) {
+	db.counters.violMu.Lock()
+	db.counters.violations[kind]++
+	db.counters.violMu.Unlock()
 }
 
 func (db *DB) pagesAllocated() int64 {

@@ -1,15 +1,25 @@
 package relstore
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // LockManager tracks transaction admission and per-table insert interest.
-// The engine executes under the discrete-event simulation's single-runner
-// discipline, so the lock manager does not need OS-level synchronization; its
-// job is to enforce the concurrent-transaction limit and to expose the
+// Its job is to enforce the concurrent-transaction limit and to expose the
 // information (how many other transactions are inserting into the same
 // tables) that the sqlbatch contention model uses to reproduce the lock waits
 // and stalls the paper observed at 6-8 parallel loaders (§5.4).
+//
+// The manager is safe for concurrent callers: all state is guarded by one
+// mutex, and AdmitWait provides real blocking admission for the wall-clock
+// execution mode (under the DES kernel's single-runner discipline the mutex
+// is uncontended and Admit never needs to block — the sqlbatch server queues
+// on the transaction-slot resource instead).
 type LockManager struct {
+	mu       sync.Mutex
+	slotFree *sync.Cond
+
 	maxConcurrentTxns int
 	active            map[int64]*txnLocks
 	tableWriters      map[string]int
@@ -25,38 +35,74 @@ type txnLocks struct {
 // NewLockManager creates a lock manager that admits at most maxConcurrentTxns
 // simultaneously active transactions (0 or negative means unlimited).
 func NewLockManager(maxConcurrentTxns int) *LockManager {
-	return &LockManager{
+	m := &LockManager{
 		maxConcurrentTxns: maxConcurrentTxns,
 		active:            make(map[int64]*txnLocks),
 		tableWriters:      make(map[string]int),
 	}
+	m.slotFree = sync.NewCond(&m.mu)
+	return m
 }
 
 // MaxConcurrentTxns returns the admission limit (0 = unlimited).
 func (m *LockManager) MaxConcurrentTxns() int { return m.maxConcurrentTxns }
 
 // ActiveTxns returns the number of currently admitted transactions.
-func (m *LockManager) ActiveTxns() int { return len(m.active) }
+func (m *LockManager) ActiveTxns() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// full reports whether the admission limit is reached; m.mu must be held.
+func (m *LockManager) full() bool {
+	return m.maxConcurrentTxns > 0 && len(m.active) >= m.maxConcurrentTxns
+}
+
+// admitLocked registers txnID; m.mu must be held and the manager not full.
+func (m *LockManager) admitLocked(txnID int64) error {
+	if _, ok := m.active[txnID]; ok {
+		return fmt.Errorf("relstore: transaction %d already admitted", txnID)
+	}
+	m.active[txnID] = &txnLocks{tables: make(map[string]int)}
+	return nil
+}
 
 // Admit registers a transaction.  It returns ErrTooManyTransactions when the
 // concurrent transaction limit is reached; callers (the sqlbatch server)
 // translate that into a queued wait.
 func (m *LockManager) Admit(txnID int64) error {
-	if _, ok := m.active[txnID]; ok {
-		return fmt.Errorf("relstore: transaction %d already admitted", txnID)
-	}
-	if m.maxConcurrentTxns > 0 && len(m.active) >= m.maxConcurrentTxns {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.full() {
 		m.admissionFull++
 		return ErrTooManyTransactions
 	}
-	m.active[txnID] = &txnLocks{tables: make(map[string]int)}
-	return nil
+	return m.admitLocked(txnID)
+}
+
+// AdmitWait registers a transaction, blocking the calling goroutine while the
+// concurrent-transaction limit is reached.  Each blocked call counts once
+// toward the admission-full counter.  It is the admission path of the
+// wall-clock execution mode; DES processes must use Admit.
+func (m *LockManager) AdmitWait(txnID int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.full() {
+		m.admissionFull++
+		for m.full() {
+			m.slotFree.Wait()
+		}
+	}
+	return m.admitLocked(txnID)
 }
 
 // LockRows records that txnID holds n row locks on table and returns the
 // number of *other* active transactions currently writing the same table —
 // the contention signal used by the simulation's lock-wait model.
 func (m *LockManager) LockRows(txnID int64, table string, n int) (otherWriters int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	tl, ok := m.active[txnID]
 	if !ok {
 		return 0, fmt.Errorf("relstore: transaction %d not admitted", txnID)
@@ -73,11 +119,18 @@ func (m *LockManager) LockRows(txnID int64, table string, n int) (otherWriters i
 }
 
 // TableWriters returns how many active transactions hold locks on table.
-func (m *LockManager) TableWriters(table string) int { return m.tableWriters[table] }
+func (m *LockManager) TableWriters(table string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tableWriters[table]
+}
 
-// ReleaseAll releases every lock held by txnID and removes it from the active
-// set.  Releasing an unknown transaction is a no-op.
+// ReleaseAll releases every lock held by txnID, removes it from the active
+// set and wakes goroutines blocked in AdmitWait.  Releasing an unknown
+// transaction is a no-op.
 func (m *LockManager) ReleaseAll(txnID int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	tl, ok := m.active[txnID]
 	if !ok {
 		return
@@ -89,6 +142,7 @@ func (m *LockManager) ReleaseAll(txnID int64) {
 		}
 	}
 	delete(m.active, txnID)
+	m.slotFree.Broadcast()
 }
 
 // LockStats is a snapshot of lock-manager counters.
@@ -101,6 +155,8 @@ type LockStats struct {
 
 // Stats returns a snapshot of the lock-manager counters.
 func (m *LockManager) Stats() LockStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return LockStats{
 		ActiveTxns:     len(m.active),
 		Conflicts:      m.conflicts,

@@ -1,0 +1,228 @@
+package relstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLockManagerEdgeCases drives the admission and release edge cases
+// table-style: double admission, release of unknown transactions, counter
+// accounting when the limit fills, and unlimited managers.
+func TestLockManagerEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"double admit", func(t *testing.T) {
+			m := NewLockManager(4)
+			if err := m.Admit(1); err != nil {
+				t.Fatalf("first Admit: %v", err)
+			}
+			if err := m.Admit(1); err == nil {
+				t.Fatal("second Admit of same id should fail")
+			}
+			if got := m.ActiveTxns(); got != 1 {
+				t.Fatalf("ActiveTxns = %d, want 1", got)
+			}
+		}},
+		{"double admit via AdmitWait", func(t *testing.T) {
+			m := NewLockManager(4)
+			if err := m.AdmitWait(1); err != nil {
+				t.Fatalf("first AdmitWait: %v", err)
+			}
+			if err := m.AdmitWait(1); err == nil {
+				t.Fatal("AdmitWait of already-admitted id should fail, not block")
+			}
+		}},
+		{"release without admit", func(t *testing.T) {
+			m := NewLockManager(2)
+			m.ReleaseAll(99) // must be a harmless no-op
+			if got := m.ActiveTxns(); got != 0 {
+				t.Fatalf("ActiveTxns = %d, want 0", got)
+			}
+			if err := m.Admit(1); err != nil {
+				t.Fatalf("Admit after stray release: %v", err)
+			}
+		}},
+		{"lock rows without admit", func(t *testing.T) {
+			m := NewLockManager(0)
+			if _, err := m.LockRows(7, "objects", 1); err == nil {
+				t.Fatal("LockRows for unadmitted txn should fail")
+			}
+		}},
+		{"admission-full counter", func(t *testing.T) {
+			m := NewLockManager(2)
+			_ = m.Admit(1)
+			_ = m.Admit(2)
+			for i := int64(3); i <= 5; i++ {
+				if err := m.Admit(i); !errors.Is(err, ErrTooManyTransactions) {
+					t.Fatalf("Admit(%d) = %v, want ErrTooManyTransactions", i, err)
+				}
+			}
+			if got := m.Stats().AdmissionFull; got != 3 {
+				t.Fatalf("AdmissionFull = %d, want 3", got)
+			}
+			m.ReleaseAll(1)
+			if err := m.Admit(3); err != nil {
+				t.Fatalf("Admit after release: %v", err)
+			}
+			if got := m.Stats().AdmissionFull; got != 3 {
+				t.Fatalf("AdmissionFull after successful admit = %d, want 3", got)
+			}
+		}},
+		{"conflict counter", func(t *testing.T) {
+			m := NewLockManager(0)
+			_ = m.Admit(1)
+			_ = m.Admit(2)
+			if other, _ := m.LockRows(1, "objects", 5); other != 0 {
+				t.Fatalf("first writer sees %d others, want 0", other)
+			}
+			if other, _ := m.LockRows(2, "objects", 1); other != 1 {
+				t.Fatalf("second writer sees %d others, want 1", other)
+			}
+			// More locks by an existing writer do not re-count the writer.
+			if other, _ := m.LockRows(2, "objects", 1); other != 1 {
+				t.Fatalf("repeat lock sees %d others, want 1", other)
+			}
+			if got := m.Stats().Conflicts; got != 2 {
+				t.Fatalf("Conflicts = %d, want 2", got)
+			}
+			m.ReleaseAll(1)
+			if got := m.TableWriters("objects"); got != 1 {
+				t.Fatalf("TableWriters after release = %d, want 1", got)
+			}
+		}},
+		{"unlimited manager never fills", func(t *testing.T) {
+			m := NewLockManager(0)
+			for i := int64(1); i <= 100; i++ {
+				if err := m.Admit(i); err != nil {
+					t.Fatalf("Admit(%d): %v", i, err)
+				}
+			}
+			if got := m.Stats().AdmissionFull; got != 0 {
+				t.Fatalf("AdmissionFull = %d, want 0", got)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}
+
+// TestLockManagerAdmitWaitBlocks verifies the blocking-admit semantics under
+// concurrent callers: the active set never exceeds the limit, every caller
+// is eventually admitted, and blocked admissions are counted.
+func TestLockManagerAdmitWaitBlocks(t *testing.T) {
+	const limit = 3
+	const callers = 24
+	m := NewLockManager(limit)
+	var cur, max, over atomic.Int64
+	var wg sync.WaitGroup
+	for i := 1; i <= callers; i++ {
+		id := int64(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := m.AdmitWait(id); err != nil {
+				t.Errorf("AdmitWait(%d): %v", id, err)
+				return
+			}
+			n := cur.Add(1)
+			if n > limit {
+				over.Add(1)
+			}
+			for {
+				v := max.Load()
+				if n <= v || max.CompareAndSwap(v, n) {
+					break
+				}
+			}
+			if _, err := m.LockRows(id, "objects", 1); err != nil {
+				t.Errorf("LockRows(%d): %v", id, err)
+			}
+			cur.Add(-1)
+			m.ReleaseAll(id)
+		}()
+	}
+	wg.Wait()
+	if over.Load() > 0 {
+		t.Fatalf("admission limit exceeded %d times", over.Load())
+	}
+	st := m.Stats()
+	if st.ActiveTxns != 0 {
+		t.Fatalf("ActiveTxns after drain = %d, want 0", st.ActiveTxns)
+	}
+	if st.AdmissionFull < callers-limit {
+		// At least callers-limit goroutines must have found the manager full
+		// (scheduling may make it more, never fewer is not guaranteed either,
+		// but with 24 callers racing for 3 slots some blocking is certain).
+		t.Logf("AdmissionFull = %d (informational)", st.AdmissionFull)
+	}
+}
+
+// TestTxnIDsNeverReused pins the satellite fix for transaction-id reuse: an
+// id consumed by a failed admission must never be handed out again.
+func TestTxnIDsNeverReused(t *testing.T) {
+	db, err := NewDB(testSchema(t), Config{MaxConcurrentTxns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// This admission fails; its id must be burned, not recycled.
+	if _, err := db.Begin(); !errors.Is(err, ErrTooManyTransactions) {
+		t.Fatalf("second Begin = %v, want ErrTooManyTransactions", err)
+	}
+	if _, err := first.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID() <= first.ID()+1 {
+		t.Fatalf("txn id %d reuses or precedes the failed admission's id (first was %d)",
+			second.ID(), first.ID())
+	}
+}
+
+// TestTxnIDsUniqueConcurrent allocates transactions from many goroutines and
+// checks ids are globally unique even with admission failures interleaved.
+func TestTxnIDsUniqueConcurrent(t *testing.T) {
+	db, err := NewDB(testSchema(t), Config{MaxConcurrentTxns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := make(map[int64]string)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				txn, err := db.Begin()
+				if err != nil {
+					continue // admission full: id burned, never visible
+				}
+				mu.Lock()
+				who := fmt.Sprintf("g%d/%d", g, i)
+				if prev, dup := seen[txn.ID()]; dup {
+					t.Errorf("txn id %d handed to both %s and %s", txn.ID(), prev, who)
+				}
+				seen[txn.ID()] = who
+				mu.Unlock()
+				if err := txn.Rollback(); err != nil {
+					t.Errorf("rollback: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -89,19 +89,13 @@ func (h *heapStore) scanLoc(visit func(loc rowLoc, r Row) bool) {
 	}
 }
 
-// scan visits every live row in heap order.
+// scan visits every live row in heap order, numbering live rows from 0.
 func (h *heapStore) scan(visit func(id int64, r Row) bool) {
 	var id int64
-	for _, p := range h.pages {
-		for _, r := range p.rows {
-			if r != nil {
-				if !visit(id, r) {
-					return
-				}
-			}
-			id++
-		}
-	}
+	h.scanLoc(func(_ rowLoc, r Row) bool {
+		id++
+		return visit(id-1, r)
+	})
 }
 
 // pageCount returns the number of allocated pages.

@@ -20,12 +20,16 @@ func (db *DB) Count(table string) (int64, error) {
 }
 
 // Scan visits every live row of the table in heap order, passing a copy of
-// each row to visit; visit returns false to stop.
+// each row to visit; visit returns false to stop.  The table's read lock is
+// held for the duration of the scan, so the visitor must not call write
+// operations on the same table.
 func (db *DB) Scan(table string, visit func(Row) bool) error {
 	t, ok := db.tables[table]
 	if !ok {
 		return ErrNoSuchTable
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	t.heap.scan(func(_ int64, r Row) bool {
 		return visit(r.Clone())
 	})
@@ -35,12 +39,15 @@ func (db *DB) Scan(table string, visit func(Row) bool) error {
 // ScanRef is Scan without the per-row copy: visit receives the stored row
 // itself.  It exists for read-only consumers on hot paths (query decoding,
 // bulk publishing); the visitor must not mutate the row or retain it across
-// writes to the table.
+// writes to the table.  Like Scan, it holds the table's read lock while the
+// visitor runs.
 func (db *DB) ScanRef(table string, visit func(Row) bool) error {
 	t, ok := db.tables[table]
 	if !ok {
 		return ErrNoSuchTable
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	t.heap.scan(func(_ int64, r Row) bool {
 		return visit(r)
 	})
@@ -69,7 +76,9 @@ func (db *DB) LookupByPK(table string, key []Value) (Row, error) {
 	if !ok {
 		return nil, ErrNoSuchTable
 	}
-	id, ok := t.pkRowID(key)
+	sc := db.scratchPool.Get().(*scratch)
+	id, ok := t.pkRowID(sc, key)
+	db.scratchPool.Put(sc)
 	if !ok {
 		return nil, nil
 	}
@@ -87,11 +96,13 @@ func (db *DB) SelectEqualIndexed(table, index string, key []Value) ([]Row, int, 
 	if ix == nil {
 		return nil, 0, ErrNoSuchIndex
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	ids, visited := ix.tree.Search(key)
 	out := make([]Row, 0, len(ids))
 	for _, id := range ids {
-		if r := t.getRow(id); r != nil {
-			out = append(out, r)
+		if r := t.getRowLocked(id); r != nil {
+			out = append(out, r.Clone())
 		}
 	}
 	return out, visited, nil
@@ -108,11 +119,13 @@ func (db *DB) RangeIndexed(table, index string, from, to []Value, limit int) ([]
 	if ix == nil {
 		return nil, ErrNoSuchIndex
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var out []Row
 	ix.tree.AscendRange(from, to, func(_ []Value, ids []int64) bool {
 		for _, id := range ids {
-			if r := t.getRow(id); r != nil {
-				out = append(out, r)
+			if r := t.getRowLocked(id); r != nil {
+				out = append(out, r.Clone())
 				if limit > 0 && len(out) >= limit {
 					return false
 				}
@@ -144,6 +157,8 @@ func (db *DB) Aggregate(table, column string) (AggregateResult, error) {
 		return AggregateResult{}, fmt.Errorf("relstore: table %q has no column %q", table, column)
 	}
 	res := AggregateResult{Min: math.Inf(1), Max: math.Inf(-1)}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	t.heap.scan(func(_ int64, r Row) bool {
 		v := r[idx]
 		var f float64
@@ -176,20 +191,29 @@ func (db *DB) Aggregate(table, column string) (AggregateResult, error) {
 // VerifyIntegrity checks every foreign key of every live row and returns the
 // number of orphaned rows found (0 means the repository is referentially
 // consistent).  The integration tests run this after every load.
+//
+// It is a post-load verification: run it after writers have finished.  It
+// holds each scanned table's read lock while probing parents, which is safe
+// for the acyclic (parent-before-child) catalog schema but could deadlock
+// against concurrent verifiers and writers if a schema contained a
+// foreign-key cycle across tables.
 func (db *DB) VerifyIntegrity() (orphans int64, err error) {
+	var sc scratch
 	for _, name := range db.schema.TableNames() {
 		t := db.tables[name]
 		ts := t.schema
 		if len(ts.ForeignKeys) == 0 {
 			continue
 		}
+		t.mu.RLock()
 		t.heap.scan(func(_ int64, r Row) bool {
 			var rep OpReport
-			if e := db.checkForeignKeys(ts, r, &rep); e != nil {
+			if e := db.checkForeignKeys(&sc, ts, r, &rep, t); e != nil {
 				orphans++
 			}
 			return true
 		})
+		t.mu.RUnlock()
 	}
 	return orphans, nil
 }
@@ -197,12 +221,14 @@ func (db *DB) VerifyIntegrity() (orphans int64, err error) {
 // VerifyPrimaryKeys re-derives every table's primary-key index from the heap
 // and reports any mismatch; used by tests to validate rollback correctness.
 func (db *DB) VerifyPrimaryKeys() error {
+	var sc scratch
 	for _, name := range db.schema.TableNames() {
 		t := db.tables[name]
 		seen := make(map[string]bool)
 		var dup error
+		t.mu.RLock()
 		t.heap.scan(func(_ int64, r Row) bool {
-			enc := EncodeKey(t.keyOf(r, t.pkCols))
+			enc := EncodeKey(sc.keyOf(r, t.pkCols))
 			if seen[enc] {
 				dup = fmt.Errorf("relstore: duplicate primary key %s in table %q", enc, name)
 				return false
@@ -214,11 +240,13 @@ func (db *DB) VerifyPrimaryKeys() error {
 			}
 			return true
 		})
+		rows := t.heap.rowCount
+		t.mu.RUnlock()
 		if dup != nil {
 			return dup
 		}
-		if int64(len(seen)) != t.RowCount() {
-			return fmt.Errorf("relstore: table %q has %d rows but %d distinct keys", name, t.RowCount(), len(seen))
+		if int64(len(seen)) != rows {
+			return fmt.Errorf("relstore: table %q has %d rows but %d distinct keys", name, rows, len(seen))
 		}
 	}
 	return nil

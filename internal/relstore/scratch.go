@@ -1,0 +1,58 @@
+package relstore
+
+// scratch holds the reusable buffers of the insert hot path: composite-key
+// extraction, key encoding, per-insert unique-key strings and foreign-key
+// probes.  PR 1 kept these buffers on the Table, which was safe under the
+// discrete-event simulation's single-runner discipline; with real concurrent
+// writers (the exec.Realtime scheduler) a shared per-table buffer would be a
+// data race, so each transaction now owns a scratch for the goroutine driving
+// it.  Scratches are pooled on the DB so the zero-allocation property of the
+// row path survives across transactions.
+//
+// Ownership rule: a scratch is used only by the goroutine that owns the
+// transaction holding it.  Buffers returned by its methods are valid until
+// the next call of the same method; consumers must encode or copy them first
+// (BTree.Insert clones stored keys, hash-map probes use m[string(buf)]).
+type scratch struct {
+	key  []Value
+	enc  []byte
+	uniq []string
+	fk   []Value
+}
+
+// keyOf fills the key buffer with the key columns of row.
+func (sc *scratch) keyOf(row Row, cols []int) []Value {
+	if cap(sc.key) < len(cols) {
+		sc.key = make([]Value, len(cols))
+	}
+	key := sc.key[:len(cols)]
+	for i, c := range cols {
+		key[i] = row[c]
+	}
+	return key
+}
+
+// encodeKey encodes key into the reusable byte buffer.  The result is valid
+// until the next encodeKey call on this scratch; hash lookups use
+// m[string(buf)] (compiled without copying) and only keys that are stored pay
+// a string allocation.
+func (sc *scratch) encodeKey(key []Value) []byte {
+	sc.enc = AppendKey(sc.enc[:0], key)
+	return sc.enc
+}
+
+// uniqueEncs returns an n-element buffer for encoded unique-constraint keys.
+func (sc *scratch) uniqueEncs(n int) []string {
+	if cap(sc.uniq) < n {
+		sc.uniq = make([]string, n)
+	}
+	return sc.uniq[:n]
+}
+
+// fkKey returns an n-element buffer for a foreign-key probe.
+func (sc *scratch) fkKey(n int) []Value {
+	if cap(sc.fk) < n {
+		sc.fk = make([]Value, n)
+	}
+	return sc.fk[:n]
+}

@@ -3,6 +3,7 @@ package relstore
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Index is a secondary index over one or more columns of a table.
@@ -27,8 +28,17 @@ func (ix *Index) Tree() *BTree { return ix.tree }
 
 // Table is the runtime state of one table: schema, heap storage, primary-key
 // hash index, unique-constraint hash indexes and secondary B-tree indexes.
+//
+// Concurrency: mu guards all mutable state (heap, row map, hash indexes,
+// B-trees, index list, pre-population counters).  Writers (insertPrepared,
+// deleteRow, createIndex, dropIndex, prePopulate) take the write lock; the
+// exported read accessors take the read lock.  Key/encoding scratch buffers
+// are NOT table state — they travel with the transaction (see scratch.go) so
+// concurrent writers on different goroutines never share them.
 type Table struct {
 	schema *TableSchema
+
+	mu sync.RWMutex
 
 	heap    *heapStore
 	rows    map[int64]rowLoc
@@ -40,22 +50,13 @@ type Table struct {
 	uniqueCols  [][]int
 	uniqueMaps  []map[string]int64
 	uniqueNames []string
-	// uniqueEncs is a reusable per-insert buffer of encoded unique keys.
-	uniqueEncs []string
 
 	indexes map[string]*Index
-	// indexList caches Indexes()'s name-sorted slice; nil means stale.
+	// indexList is the name-sorted snapshot of indexes, rebuilt eagerly on
+	// create/drop so readers and the insert path never mutate it in place.
 	indexList []*Index
 
 	btreeDegree int
-
-	// keyScratch and encScratch are reusable buffers for composite-key
-	// extraction and encoding on the insert path.  The engine is driven by a
-	// single-threaded discrete-event simulation, so per-table scratch space
-	// needs no locking; every use is consumed (encoded or copied) before the
-	// next call overwrites it.
-	keyScratch []Value
-	encScratch []byte
 
 	// prePopulatedBytes models rows that "already exist" in the table from
 	// earlier loading sessions without materializing them (Figure 9 sweeps
@@ -71,6 +72,7 @@ func newTable(schema *TableSchema, btreeDegree int) (*Table, error) {
 		rows:        make(map[int64]rowLoc),
 		pkIndex:     make(map[string]int64),
 		indexes:     make(map[string]*Index),
+		indexList:   []*Index{},
 		btreeDegree: btreeDegree,
 	}
 	for _, c := range schema.PrimaryKey {
@@ -93,7 +95,6 @@ func newTable(schema *TableSchema, btreeDegree int) (*Table, error) {
 		t.uniqueMaps = append(t.uniqueMaps, make(map[string]int64))
 		t.uniqueNames = append(t.uniqueNames, u.Name)
 	}
-	t.uniqueEncs = make([]string, len(t.uniqueCols))
 	return t, nil
 }
 
@@ -104,39 +105,68 @@ func (t *Table) Schema() *TableSchema { return t.schema }
 func (t *Table) Name() string { return t.schema.Name }
 
 // RowCount returns the number of live rows physically stored.
-func (t *Table) RowCount() int64 { return t.heap.rowCount }
+func (t *Table) RowCount() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap.rowCount
+}
 
 // LogicalRowCount returns stored plus pre-populated rows.
-func (t *Table) LogicalRowCount() int64 { return t.heap.rowCount + t.prePopulatedRows }
+func (t *Table) LogicalRowCount() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap.rowCount + t.prePopulatedRows
+}
 
 // ByteSize returns the number of bytes physically stored.
-func (t *Table) ByteSize() int64 { return t.heap.bytes }
+func (t *Table) ByteSize() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap.bytes
+}
 
 // LogicalByteSize returns stored plus pre-populated bytes.
-func (t *Table) LogicalByteSize() int64 { return t.heap.bytes + t.prePopulatedBytes }
+func (t *Table) LogicalByteSize() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap.bytes + t.prePopulatedBytes
+}
 
 // PageCount returns the number of heap pages allocated.
-func (t *Table) PageCount() int { return t.heap.pageCount() }
+func (t *Table) PageCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap.pageCount()
+}
 
-// Indexes returns the table's secondary indexes sorted by name.  The sorted
-// slice is cached and invalidated on create/drop; callers must not mutate it.
+// Indexes returns the table's secondary indexes sorted by name.  The slice is
+// an immutable snapshot rebuilt on create/drop; callers must not mutate it.
 func (t *Table) Indexes() []*Index {
-	if t.indexList == nil {
-		out := make([]*Index, 0, len(t.indexes))
-		for _, ix := range t.indexes {
-			out = append(out, ix)
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-		t.indexList = out
-	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.indexList
 }
 
+// rebuildIndexList refreshes the sorted snapshot; t.mu must be write-held.
+func (t *Table) rebuildIndexList() {
+	out := make([]*Index, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	t.indexList = out
+}
+
 // Index returns the named index or nil.
-func (t *Table) Index(name string) *Index { return t.indexes[name] }
+func (t *Table) Index(name string) *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.indexes[name]
+}
 
 // buildRow maps (columns, values) onto a full row in schema order, coercing
-// values to their declared types.  Missing columns become NULL.
+// values to their declared types.  Missing columns become NULL.  It touches
+// only the immutable schema, so it runs without the table lock.
 func (t *Table) buildRow(columns []string, values []Value) (Row, error) {
 	if len(columns) != len(values) {
 		return nil, &ConstraintError{Kind: KindArity, Table: t.schema.Name,
@@ -205,63 +235,45 @@ func (t *Table) checkRow(row Row) (int, error) {
 	return checks, nil
 }
 
-// keyOf fills the table's reusable scratch slice with the key columns of row.
-// The result is valid only until the next keyOf call on this table: consumers
-// must encode it or hand it to BTree.Insert (which copies stored keys) before
-// extracting another key.
-func (t *Table) keyOf(row Row, cols []int) []Value {
-	if cap(t.keyScratch) < len(cols) {
-		t.keyScratch = make([]Value, len(cols))
-	}
-	key := t.keyScratch[:len(cols)]
-	for i, c := range cols {
-		key[i] = row[c]
-	}
-	return key
-}
-
-// encodeKey encodes key into the table's reusable scratch buffer.  The
-// returned bytes are valid until the next encodeKey call on this table; hash
-// lookups use m[string(buf)] (compiled without copying) and only keys that
-// are stored pay a string allocation.
-func (t *Table) encodeKey(key []Value) []byte {
-	t.encScratch = AppendKey(t.encScratch[:0], key)
-	return t.encScratch
-}
-
-// insertPrepared validates uniqueness constraints and stores the row.  The
-// caller (DB.insert) has already coerced values and checked foreign keys.
-// It returns the new row id and the physical-work report.
-func (t *Table) insertPrepared(row Row) (int64, OpReport, error) {
+// insertPrepared validates uniqueness constraints and stores the row under
+// the table's write lock.  The caller (DB.insert) has already coerced values
+// and checked foreign keys.  It returns the new row id, the heap location of
+// the stored row and the physical-work report.  sc is the caller's
+// per-goroutine scratch.
+func (t *Table) insertPrepared(sc *scratch, row Row) (int64, rowLoc, OpReport, error) {
 	var rep OpReport
 
 	checks, err := t.checkRow(row)
 	rep.ConstraintChecks += checks
 	if err != nil {
-		return 0, rep, err
+		return 0, rowLoc{}, rep, err
 	}
 
-	pkKey := t.keyOf(row, t.pkCols)
+	pkKey := sc.keyOf(row, t.pkCols)
 	rep.ConstraintChecks++
 	for _, v := range pkKey {
 		if v.IsNull() {
-			return 0, rep, &ConstraintError{Kind: KindNotNull, Table: t.schema.Name,
+			return 0, rowLoc{}, rep, &ConstraintError{Kind: KindNotNull, Table: t.schema.Name,
 				Column: t.schema.PrimaryKey[0], Detail: "NULL in primary key"}
 		}
 	}
-	pkBuf := t.encodeKey(pkKey)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	pkBuf := sc.encodeKey(pkKey)
 	if _, dup := t.pkIndex[string(pkBuf)]; dup {
-		return 0, rep, &ConstraintError{Kind: KindPrimaryKey, Table: t.schema.Name,
+		return 0, rowLoc{}, rep, &ConstraintError{Kind: KindPrimaryKey, Table: t.schema.Name,
 			Constraint: "pk_" + t.schema.Name, Detail: "duplicate key " + string(pkBuf)}
 	}
 	pkEnc := string(pkBuf)
 
-	uniqueEncs := t.uniqueEncs
+	uniqueEncs := sc.uniqueEncs(len(t.uniqueCols))
 	for i, cols := range t.uniqueCols {
 		rep.ConstraintChecks++
-		buf := t.encodeKey(t.keyOf(row, cols))
+		buf := sc.encodeKey(sc.keyOf(row, cols))
 		if _, dup := t.uniqueMaps[i][string(buf)]; dup {
-			return 0, rep, &ConstraintError{Kind: KindUnique, Table: t.schema.Name,
+			return 0, rowLoc{}, rep, &ConstraintError{Kind: KindUnique, Table: t.schema.Name,
 				Constraint: t.uniqueNames[i], Detail: "duplicate key " + string(buf)}
 		}
 		uniqueEncs[i] = string(buf)
@@ -284,8 +296,8 @@ func (t *Table) insertPrepared(row Row) (int64, OpReport, error) {
 		rep.CacheMisses++ // a fresh block is always a cache miss
 	}
 
-	for _, ix := range t.Indexes() {
-		key := t.keyOf(row, ix.colIdxs)
+	for _, ix := range t.indexList {
+		key := sc.keyOf(row, ix.colIdxs)
 		st := ix.tree.Insert(key, id)
 		rep.IndexNodesVisited += st.NodesVisited
 		rep.IndexSplits += st.Splits
@@ -296,11 +308,13 @@ func (t *Table) insertPrepared(row Row) (int64, OpReport, error) {
 		}
 		rep.IndexEntryBytes += 8 // row id pointer
 	}
-	return id, rep, nil
+	return id, loc, rep, nil
 }
 
 // deleteRow removes a previously inserted row (transaction rollback only).
-func (t *Table) deleteRow(id int64) {
+func (t *Table) deleteRow(sc *scratch, id int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	loc, ok := t.rows[id]
 	if !ok {
 		return
@@ -309,42 +323,47 @@ func (t *Table) deleteRow(id int64) {
 	if row == nil {
 		return
 	}
-	delete(t.pkIndex, string(t.encodeKey(t.keyOf(row, t.pkCols))))
+	delete(t.pkIndex, string(sc.encodeKey(sc.keyOf(row, t.pkCols))))
 	for i, cols := range t.uniqueCols {
-		delete(t.uniqueMaps[i], string(t.encodeKey(t.keyOf(row, cols))))
+		delete(t.uniqueMaps[i], string(sc.encodeKey(sc.keyOf(row, cols))))
 	}
-	for _, ix := range t.Indexes() {
-		ix.tree.Delete(t.keyOf(row, ix.colIdxs), id)
+	for _, ix := range t.indexList {
+		ix.tree.Delete(sc.keyOf(row, ix.colIdxs), id)
 	}
 	t.heap.markDeleted(loc)
 	delete(t.rows, id)
 }
 
 // lookupPK returns whether a row with the given primary-key values exists.
-func (t *Table) lookupPK(key []Value) bool {
-	_, ok := t.pkRowID(key)
+// The caller must hold t.mu (read or write).
+func (t *Table) lookupPK(sc *scratch, key []Value) bool {
+	_, ok := t.pkIndex[string(sc.encodeKey(key))]
 	return ok
 }
 
 // pkRowID returns the row id stored under the given primary key.
-func (t *Table) pkRowID(key []Value) (int64, bool) {
-	id, ok := t.pkIndex[string(t.encodeKey(key))]
+func (t *Table) pkRowID(sc *scratch, key []Value) (int64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.pkIndex[string(sc.encodeKey(key))]
 	return id, ok
 }
 
 // getRow returns a copy of the row with the given id, or nil.
 func (t *Table) getRow(id int64) Row {
-	r := t.getRowRef(id)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r := t.getRowLocked(id)
 	if r == nil {
 		return nil
 	}
 	return r.Clone()
 }
 
-// getRowRef returns the stored row with the given id without copying, or nil.
-// It is for internal read-only consumers; callers must not mutate the result
-// or hold it across writes.
-func (t *Table) getRowRef(id int64) Row {
+// getRowLocked returns the stored row with the given id without copying, or
+// nil.  The caller must hold t.mu and must not mutate the result or retain it
+// past the lock.
+func (t *Table) getRowLocked(id int64) Row {
 	loc, ok := t.rows[id]
 	if !ok {
 		return nil
@@ -355,6 +374,8 @@ func (t *Table) getRowRef(id int64) Row {
 // createIndex builds a secondary index over the named columns, populating it
 // from existing rows.  It returns the populated index.
 func (t *Table) createIndex(name string, columns []string, unique bool) (*Index, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, exists := t.indexes[name]; exists {
 		return nil, ErrIndexExists
 	}
@@ -376,33 +397,38 @@ func (t *Table) createIndex(name string, columns []string, unique bool) (*Index,
 	// ids when rollbacks occurred, so invert the rows map once instead of
 	// re-deriving each id through a primary-key encoding.
 	if t.heap.rowCount > 0 {
+		var sc scratch
 		idByLoc := make(map[rowLoc]int64, len(t.rows))
 		for id, loc := range t.rows {
 			idByLoc[loc] = id
 		}
 		t.heap.scanLoc(func(loc rowLoc, r Row) bool {
-			ix.tree.Insert(t.keyOf(r, ix.colIdxs), idByLoc[loc])
+			ix.tree.Insert(sc.keyOf(r, ix.colIdxs), idByLoc[loc])
 			return true
 		})
 	}
 	t.indexes[name] = ix
-	t.indexList = nil
+	t.rebuildIndexList()
 	return ix, nil
 }
 
 // dropIndex removes the named index.
 func (t *Table) dropIndex(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, ok := t.indexes[name]; !ok {
 		return ErrNoSuchIndex
 	}
 	delete(t.indexes, name)
-	t.indexList = nil
+	t.rebuildIndexList()
 	return nil
 }
 
 // prePopulate marks the table as already containing rows/bytes loaded in
 // earlier sessions without materializing them.
 func (t *Table) prePopulate(rows, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.prePopulatedRows += rows
 	t.prePopulatedBytes += bytes
 }

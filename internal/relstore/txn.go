@@ -3,10 +3,20 @@ package relstore
 // Txn is a database transaction.  The loading workload is insert-only, so the
 // undo log records inserted row ids; rollback removes them and commit simply
 // truncates the undo and forces the redo log.
+//
+// A transaction is owned by one goroutine at a time; its methods are not safe
+// for concurrent use on the same Txn.  Different transactions may run on
+// different goroutines concurrently — that is the whole point of the
+// wall-clock execution mode.
 type Txn struct {
 	db     *DB
 	id     int64
 	active bool
+
+	// sc is the per-goroutine key/encoding scratch this transaction carries
+	// through the insert path; it is leased from db.scratchPool at Begin and
+	// returned when the transaction ends.
+	sc *scratch
 
 	undo []undoRecord
 
@@ -22,15 +32,45 @@ type undoRecord struct {
 // Begin starts a new transaction.  It returns ErrTooManyTransactions when the
 // engine's concurrent-transaction limit is reached; the caller is expected to
 // wait and retry (the sqlbatch server queues on a transaction-slot resource).
+//
+// Transaction ids are allocated monotonically from an atomic counter and are
+// never reused: an id consumed by a failed admission is simply skipped, so
+// two transactions can never share an id even across admission failures or
+// concurrent Begin calls.
 func (db *DB) Begin() (*Txn, error) {
-	db.nextTxn++
-	id := db.nextTxn
+	id := db.nextTxn.Add(1)
 	if err := db.locks.Admit(id); err != nil {
-		db.nextTxn--
 		return nil, err
 	}
-	db.stats.Transactions++
-	return &Txn{db: db, id: id, active: true}, nil
+	return db.newTxn(id), nil
+}
+
+// BeginBlocking is Begin for real-concurrency callers: when the engine's
+// concurrent-transaction limit is reached it blocks the calling goroutine
+// until a slot frees up instead of returning ErrTooManyTransactions.  It must
+// not be used from discrete-event simulation processes (blocking a DES
+// process goroutine outside the kernel would stall the virtual clock).
+func (db *DB) BeginBlocking() (*Txn, error) {
+	id := db.nextTxn.Add(1)
+	if err := db.locks.AdmitWait(id); err != nil {
+		return nil, err
+	}
+	return db.newTxn(id), nil
+}
+
+func (db *DB) newTxn(id int64) *Txn {
+	db.counters.transactions.Add(1)
+	return &Txn{db: db, id: id, active: true, sc: db.scratchPool.Get().(*scratch)}
+}
+
+// end releases the transaction's scratch and marks it inactive.
+func (t *Txn) end() {
+	t.active = false
+	t.undo = nil
+	if t.sc != nil {
+		t.db.scratchPool.Put(t.sc)
+		t.sc = nil
+	}
 }
 
 // ID returns the transaction id.
@@ -86,9 +126,8 @@ func (t *Txn) Commit() (CommitReport, error) {
 		UndoRecordsDiscarded: len(t.undo),
 	}
 	t.db.locks.ReleaseAll(t.id)
-	t.db.stats.Commits++
-	t.undo = nil
-	t.active = false
+	t.db.counters.commits.Add(1)
+	t.end()
 	return rep, nil
 }
 
@@ -102,13 +141,12 @@ func (t *Txn) Rollback() error {
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		u := t.undo[i]
 		if tbl := t.db.tables[u.table]; tbl != nil {
-			tbl.deleteRow(u.rowID)
-			t.db.stats.RowsInserted--
+			tbl.deleteRow(t.sc, u.rowID)
+			t.db.counters.rowsInserted.Add(-1)
 		}
 	}
 	t.db.locks.ReleaseAll(t.id)
-	t.db.stats.Rollbacks++
-	t.undo = nil
-	t.active = false
+	t.db.counters.rollbacks.Add(1)
+	t.end()
 	return nil
 }

@@ -1,10 +1,17 @@
 package relstore
 
+import "sync"
+
 // WAL models the redo log.  The engine is in-memory, so the log exists for
 // cost accounting and for reasoning about the commit-frequency trade-off the
 // paper describes in §4.5.2: committing rarely avoids per-commit processing
 // but lets redo/undo volume grow between commits.
+//
+// Like the single redo stream of the production database, the log is one
+// shared structure: concurrent writers serialize on its mutex for the few
+// nanoseconds of counter arithmetic.
 type WAL struct {
+	mu             sync.Mutex
 	records        int64
 	bytes          int64
 	commits        int64
@@ -20,12 +27,14 @@ func NewWAL() *WAL { return &WAL{} }
 func (w *WAL) AppendInsert(payloadBytes int) int {
 	const header = 28
 	n := payloadBytes + header
+	w.mu.Lock()
 	w.records++
 	w.bytes += int64(n)
 	w.bytesSinceSync += int64(n)
 	if w.bytesSinceSync > w.maxUnsynced {
 		w.maxUnsynced = w.bytesSinceSync
 	}
+	w.mu.Unlock()
 	return n
 }
 
@@ -33,6 +42,8 @@ func (w *WAL) AppendInsert(payloadBytes int) int {
 // of unsynced bytes that the sync had to force to disk.
 func (w *WAL) AppendCommit() int64 {
 	const marker = 48
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.records++
 	w.bytes += marker
 	w.commits++
@@ -51,6 +62,8 @@ type WALStats struct {
 
 // Stats returns a snapshot of the log counters.
 func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	return WALStats{
 		Records:          w.records,
 		Bytes:            w.bytes,

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"time"
 
-	"skyloader/internal/des"
+	"skyloader/internal/exec"
 	"skyloader/internal/relstore"
 )
 
@@ -38,10 +38,13 @@ type BatchResult struct {
 	Report relstore.OpReport
 }
 
-// Conn is a loader connection bound to one simulation process.
+// Conn is a loader connection bound to one execution worker: a simulation
+// process in DES mode, a goroutine in wall-clock mode.  A Conn must only be
+// used from its worker's goroutine; separate connections are independent and
+// may run concurrently against the same server.
 type Conn struct {
 	server *Server
-	proc   *des.Proc
+	worker exec.Worker
 	txn    *relstore.Txn
 	closed bool
 
@@ -59,8 +62,8 @@ type ConnStats struct {
 	LongStalls   int64
 }
 
-// Proc returns the simulation process this connection belongs to.
-func (c *Conn) Proc() *des.Proc { return c.proc }
+// Worker returns the execution worker this connection belongs to.
+func (c *Conn) Worker() exec.Worker { return c.worker }
 
 // Server returns the server this connection talks to.
 func (c *Conn) Server() *Server { return c.server }
@@ -80,7 +83,7 @@ func (c *Conn) Begin() error {
 	if c.InTransaction() {
 		return fmt.Errorf("sqlbatch: transaction already active")
 	}
-	txn, err := c.server.begin(c.proc)
+	txn, err := c.server.begin(c.worker)
 	if err != nil {
 		return err
 	}
@@ -93,7 +96,7 @@ func (c *Conn) Commit() error {
 	if !c.InTransaction() {
 		return ErrNoTransaction
 	}
-	_, err := c.server.finish(c.proc, c.txn, true)
+	_, err := c.server.finish(c.worker, c.txn, true)
 	c.txn = nil
 	if err == nil {
 		c.stats.Commits++
@@ -106,7 +109,7 @@ func (c *Conn) Rollback() error {
 	if !c.InTransaction() {
 		return ErrNoTransaction
 	}
-	_, err := c.server.finish(c.proc, c.txn, false)
+	_, err := c.server.finish(c.worker, c.txn, false)
 	c.txn = nil
 	return err
 }
@@ -171,7 +174,7 @@ func (s *Stmt) ExecuteBatch() (BatchResult, error) {
 	}
 	rows := s.batch
 	s.batch = nil
-	res := s.conn.server.execBatch(s.conn.proc, s.conn.txn, s.table, s.columns, rows)
+	res := s.conn.server.execBatch(s.conn.worker, s.conn.txn, s.table, s.columns, rows)
 	s.conn.stats.Calls++
 	s.conn.stats.Batches++
 	s.conn.stats.RowsInserted += int64(res.RowsInserted)
@@ -191,7 +194,7 @@ func (s *Stmt) ExecuteSingle(values []relstore.Value) (BatchResult, error) {
 	}
 	row := make([]relstore.Value, len(values))
 	copy(row, values)
-	res := s.conn.server.execBatch(s.conn.proc, s.conn.txn, s.table, s.columns, [][]relstore.Value{row})
+	res := s.conn.server.execBatch(s.conn.worker, s.conn.txn, s.table, s.columns, [][]relstore.Value{row})
 	s.conn.stats.Calls++
 	s.conn.stats.RowsInserted += int64(res.RowsInserted)
 	s.conn.stats.LockWaits += int64(res.LockWaits)
@@ -203,8 +206,9 @@ func (s *Stmt) ExecuteSingle(values []relstore.Value) (BatchResult, error) {
 }
 
 // ChargeClientCPU charges d of client-side (cluster node) processing time to
-// the connection's process.  The loader uses it for parse/transform/buffer
-// work so that client costs and server costs share one virtual clock.
+// the connection's worker.  The loader uses it for parse/transform/buffer
+// work so that client costs and server costs share one clock; in wall-clock
+// mode the charge is a no-op (real parse work takes real time instead).
 func (c *Conn) ChargeClientCPU(d time.Duration) {
-	c.proc.Hold(d)
+	c.worker.Sleep(d)
 }

@@ -2,9 +2,11 @@ package sqlbatch
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"skyloader/internal/des"
+	"skyloader/internal/exec"
 	"skyloader/internal/relstore"
 )
 
@@ -36,22 +38,28 @@ func DefaultServerConfig() ServerConfig {
 	}
 }
 
-// Server is the simulated database server: it owns the relstore engine, the
-// DES resources representing its hardware, and the cost model that converts
-// engine work reports into virtual time.
+// Server is the database server: it owns the relstore engine, the execution
+// resources representing its hardware, and the cost model that converts
+// engine work reports into service time.
+//
+// The server runs on whichever exec.Scheduler it was built with.  On the DES
+// scheduler every cost below is charged in virtual time and runs are
+// deterministic; on the realtime scheduler N client connections execute on N
+// goroutines against the same shared engine, the resources block for real,
+// and the counters (which are atomics) absorb concurrent updates.
 type Server struct {
-	db   *relstore.DB
-	k    *des.Kernel
-	cost CostModel
-	cfg  ServerConfig
+	db    *relstore.DB
+	sched exec.Scheduler
+	cost  CostModel
+	cfg   ServerConfig
 
-	cpus     *des.Resource
-	txnSlots *des.Resource
-	dataDisk *des.Resource
-	idxDisk  *des.Resource
-	logDisk  *des.Resource
+	cpus     exec.Resource
+	txnSlots exec.Resource
+	dataDisk exec.Resource
+	idxDisk  exec.Resource
+	logDisk  exec.Resource
 
-	stats ServerStats
+	stats serverCounters
 }
 
 // ServerStats aggregates server-side counters for reporting.
@@ -72,9 +80,57 @@ type ServerStats struct {
 	LogIOTime     time.Duration
 }
 
-// NewServer creates a simulated database server on kernel k, hosting db and
-// charging costs according to cost.
+// serverCounters is the lock-free internal representation of ServerStats;
+// durations are nanosecond atomics so concurrent connections never contend
+// on a stats mutex.
+type serverCounters struct {
+	calls        atomic.Int64
+	rowsReceived atomic.Int64
+	rowsInserted atomic.Int64
+	rowsRejected atomic.Int64
+	commits      atomic.Int64
+	rollbacks    atomic.Int64
+	lockWaits    atomic.Int64
+	longStalls   atomic.Int64
+	lockWaitNs   atomic.Int64
+	networkBytes atomic.Int64
+	serverCPUNs  atomic.Int64
+	dataIONs     atomic.Int64
+	indexIONs    atomic.Int64
+	logIONs      atomic.Int64
+}
+
+func (c *serverCounters) snapshot() ServerStats {
+	return ServerStats{
+		Calls:         c.calls.Load(),
+		RowsReceived:  c.rowsReceived.Load(),
+		RowsInserted:  c.rowsInserted.Load(),
+		RowsRejected:  c.rowsRejected.Load(),
+		Commits:       c.commits.Load(),
+		Rollbacks:     c.rollbacks.Load(),
+		LockWaits:     c.lockWaits.Load(),
+		LongStalls:    c.longStalls.Load(),
+		LockWaitTime:  time.Duration(c.lockWaitNs.Load()),
+		NetworkBytes:  c.networkBytes.Load(),
+		ServerCPUTime: time.Duration(c.serverCPUNs.Load()),
+		DataIOTime:    time.Duration(c.dataIONs.Load()),
+		IndexIOTime:   time.Duration(c.indexIONs.Load()),
+		LogIOTime:     time.Duration(c.logIONs.Load()),
+	}
+}
+
+// NewServer creates a simulated database server on the DES kernel k, hosting
+// db and charging costs according to cost.  It is shorthand for NewServerOn
+// with the deterministic scheduler and exists because every §5 experiment and
+// most tests run in that mode.
 func NewServer(k *des.Kernel, db *relstore.DB, cfg ServerConfig, cost CostModel) *Server {
+	return NewServerOn(exec.NewDES(k), db, cfg, cost)
+}
+
+// NewServerOn creates a database server on an arbitrary execution scheduler:
+// pass exec.NewDES for deterministic virtual-time simulation or
+// exec.NewRealtime for a genuinely concurrent wall-clock run.
+func NewServerOn(sched exec.Scheduler, db *relstore.DB, cfg ServerConfig, cost CostModel) *Server {
 	if cfg.CPUs <= 0 {
 		cfg.CPUs = DefaultServerConfig().CPUs
 	}
@@ -84,13 +140,13 @@ func NewServer(k *des.Kernel, db *relstore.DB, cfg ServerConfig, cost CostModel)
 	if cfg.DiskChannelsPerDevice <= 0 {
 		cfg.DiskChannelsPerDevice = DefaultServerConfig().DiskChannelsPerDevice
 	}
-	s := &Server{db: db, k: k, cost: cost, cfg: cfg}
-	s.cpus = des.NewResource(k, "server-cpus", cfg.CPUs)
-	s.txnSlots = des.NewResource(k, "txn-slots", cfg.TxnSlots)
-	s.dataDisk = des.NewResource(k, "data-raid", cfg.DiskChannelsPerDevice)
+	s := &Server{db: db, sched: sched, cost: cost, cfg: cfg}
+	s.cpus = sched.NewResource("server-cpus", cfg.CPUs)
+	s.txnSlots = sched.NewResource("txn-slots", cfg.TxnSlots)
+	s.dataDisk = sched.NewResource("data-raid", cfg.DiskChannelsPerDevice)
 	if cfg.SeparateRAID {
-		s.idxDisk = des.NewResource(k, "index-raid", cfg.DiskChannelsPerDevice)
-		s.logDisk = des.NewResource(k, "log-raid", cfg.DiskChannelsPerDevice)
+		s.idxDisk = sched.NewResource("index-raid", cfg.DiskChannelsPerDevice)
+		s.logDisk = sched.NewResource("log-raid", cfg.DiskChannelsPerDevice)
 	} else {
 		s.idxDisk = s.dataDisk
 		s.logDisk = s.dataDisk
@@ -101,8 +157,12 @@ func NewServer(k *des.Kernel, db *relstore.DB, cfg ServerConfig, cost CostModel)
 // DB returns the hosted database.
 func (s *Server) DB() *relstore.DB { return s.db }
 
-// Kernel returns the simulation kernel.
-func (s *Server) Kernel() *des.Kernel { return s.k }
+// Scheduler returns the execution scheduler the server runs on.
+func (s *Server) Scheduler() exec.Scheduler { return s.sched }
+
+// Kernel returns the simulation kernel when the server runs on the DES
+// scheduler, or nil in wall-clock mode.
+func (s *Server) Kernel() *des.Kernel { return exec.KernelOf(s.sched) }
 
 // Cost returns the cost model in use.
 func (s *Server) Cost() CostModel { return s.cost }
@@ -111,7 +171,7 @@ func (s *Server) Cost() CostModel { return s.cost }
 func (s *Server) Config() ServerConfig { return s.cfg }
 
 // Stats returns a snapshot of the server counters.
-func (s *Server) Stats() ServerStats { return s.stats }
+func (s *Server) Stats() ServerStats { return s.stats.snapshot() }
 
 // CPUUtilization returns the mean utilization of the server CPUs so far.
 func (s *Server) CPUUtilization() float64 { return s.cpus.Stats().Utilization }
@@ -119,87 +179,102 @@ func (s *Server) CPUUtilization() float64 { return s.cpus.Stats().Utilization }
 // ActiveLoadTxns returns the number of transactions currently admitted.
 func (s *Server) ActiveLoadTxns() int { return s.txnSlots.InUse() }
 
-// Connect opens a connection for the loader process p.
+// Connect opens a connection for the simulation process p.  It exists for
+// DES-mode callers that spawn kernel processes directly; scheduler-spawned
+// workers use ConnectWorker.
 func (s *Server) Connect(p *des.Proc) *Conn {
-	// Connection setup costs one round trip.
-	p.Hold(s.cost.CallOverhead)
-	return &Conn{server: s, proc: p}
+	return s.ConnectWorker(exec.WorkerForProc(p))
+}
+
+// ConnectWorker opens a connection for the worker w.  Connection setup costs
+// one round trip.
+func (s *Server) ConnectWorker(w exec.Worker) *Conn {
+	w.Sleep(s.cost.CallOverhead)
+	return &Conn{server: s, worker: w}
 }
 
 // begin admits a new transaction, queueing on the transaction-slot resource
-// when the server is at its concurrency limit.
-func (s *Server) begin(p *des.Proc) (*relstore.Txn, error) {
-	s.txnSlots.Acquire(p, 1)
-	txn, err := s.db.Begin()
+// when the server is at its concurrency limit.  In wall-clock mode a further
+// engine-level admission limit (MaxConcurrentTxns below TxnSlots) blocks the
+// goroutine for real instead of failing.
+func (s *Server) begin(w exec.Worker) (*relstore.Txn, error) {
+	s.txnSlots.Acquire(w, 1)
+	var txn *relstore.Txn
+	var err error
+	if s.sched.Deterministic() {
+		txn, err = s.db.Begin()
+	} else {
+		txn, err = s.db.BeginBlocking()
+	}
 	if err != nil {
-		s.txnSlots.Release(p, 1)
+		s.txnSlots.Release(w, 1)
 		return nil, err
 	}
 	return txn, nil
 }
 
 // finish ends a transaction (commit or rollback) and frees its slot.
-func (s *Server) finish(p *des.Proc, txn *relstore.Txn, commit bool) (relstore.CommitReport, error) {
-	defer s.txnSlots.Release(p, 1)
+func (s *Server) finish(w exec.Worker, txn *relstore.Txn, commit bool) (relstore.CommitReport, error) {
+	defer s.txnSlots.Release(w, 1)
 	if commit {
 		rep, err := txn.Commit()
 		if err != nil {
 			return rep, err
 		}
-		s.stats.Commits++
+		s.stats.commits.Add(1)
 		// Commit processing: fixed CPU cost plus the database-writer cache
 		// scan, then a forced log write.
 		cpu := s.cost.CommitCost + time.Duration(rep.CacheScanPages)*s.cost.CacheScanCostPerPage
-		s.useCPU(p, cpu)
+		s.useCPU(w, cpu)
 		logT := s.cost.LogTime(int(rep.LogBytesForced)) + time.Duration(rep.DirtyPagesWritten)*s.cost.PageWriteCost
-		s.useDisk(p, s.logDisk, logT, &s.stats.LogIOTime)
+		s.useDisk(w, s.logDisk, logT, &s.stats.logIONs)
 		return rep, nil
 	}
-	s.stats.Rollbacks++
+	s.stats.rollbacks.Add(1)
 	err := txn.Rollback()
-	s.useCPU(p, s.cost.CommitCost)
+	s.useCPU(w, s.cost.CommitCost)
 	return relstore.CommitReport{}, err
 }
 
-func (s *Server) useCPU(p *des.Proc, d time.Duration) {
+func (s *Server) useCPU(w exec.Worker, d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	s.cpus.Acquire(p, 1)
-	p.Hold(d)
-	s.cpus.Release(p, 1)
-	s.stats.ServerCPUTime += d
+	s.cpus.Acquire(w, 1)
+	w.Sleep(d)
+	s.cpus.Release(w, 1)
+	s.stats.serverCPUNs.Add(int64(d))
 }
 
-func (s *Server) useDisk(p *des.Proc, r *des.Resource, d time.Duration, acc *time.Duration) {
+func (s *Server) useDisk(w exec.Worker, r exec.Resource, d time.Duration, acc *atomic.Int64) {
 	if d <= 0 {
 		return
 	}
-	r.Acquire(p, 1)
-	p.Hold(d)
-	r.Release(p, 1)
-	*acc += d
+	r.Acquire(w, 1)
+	w.Sleep(d)
+	r.Release(w, 1)
+	acc.Add(int64(d))
 }
 
 // execBatch runs a batch of inserts against table within txn on behalf of
-// process p, charging network, CPU, disk and lock-contention time.  It
+// worker w, charging network, CPU, disk and lock-contention time.  It
 // implements JDBC batch-update semantics: rows are applied in order until the
 // first failure; the failing row and all rows after it are not applied.
-func (s *Server) execBatch(p *des.Proc, txn *relstore.Txn, table string, columns []string, rows [][]relstore.Value) BatchResult {
+func (s *Server) execBatch(w exec.Worker, txn *relstore.Txn, table string, columns []string, rows [][]relstore.Value) BatchResult {
 	res := BatchResult{FailedIndex: -1}
 	if len(rows) == 0 {
 		return res
 	}
-	s.stats.Calls++
-	s.stats.RowsReceived += int64(len(rows))
+	s.stats.calls.Add(1)
+	s.stats.rowsReceived.Add(int64(len(rows)))
 
 	// 1. Network: one round trip plus payload transfer.
 	payload := 0
 	for _, r := range rows {
 		payload += relstore.RowSize(r)
 	}
-	s.stats.NetworkBytes += int64(payload)
-	p.Hold(s.cost.CallOverhead + s.cost.NetworkTime(payload))
+	s.stats.networkBytes.Add(int64(payload))
+	w.Sleep(s.cost.CallOverhead + s.cost.NetworkTime(payload))
 
 	// 2. Server-side execution under one CPU.
 	var rep relstore.OpReport
@@ -217,9 +292,9 @@ func (s *Server) execBatch(p *des.Proc, txn *relstore.Txn, table string, columns
 	}
 	res.RowsInserted = inserted
 	res.Err = failErr
-	s.stats.RowsInserted += int64(inserted)
+	s.stats.rowsInserted.Add(int64(inserted))
 	if failErr != nil {
-		s.stats.RowsRejected++
+		s.stats.rowsRejected.Add(1)
 	}
 
 	cpu := time.Duration(inserted) * s.cost.RowServerCost
@@ -230,18 +305,18 @@ func (s *Server) execBatch(p *des.Proc, txn *relstore.Txn, table string, columns
 	if failErr != nil {
 		cpu += s.cost.ErrorHandlingCost
 	}
-	s.useCPU(p, cpu)
+	s.useCPU(w, cpu)
 
 	// 3. Disk I/O on the data, index and log devices.
 	dataT := time.Duration(rep.PagesDirtied)*s.cost.PageWriteCost + time.Duration(rep.CacheMisses)*s.cost.PageWriteCost/2
-	s.useDisk(p, s.dataDisk, dataT, &s.stats.DataIOTime)
+	s.useDisk(w, s.dataDisk, dataT, &s.stats.dataIONs)
 	idxT := time.Duration(rep.IndexNodesVisited)*s.cost.IndexNodeCost +
 		time.Duration(rep.IndexIntColNodeVisits)*s.cost.IndexIntColCost +
 		time.Duration(rep.IndexFloatColNodeVisits)*s.cost.IndexFloatColCost +
 		time.Duration(rep.IndexSplits)*s.cost.IndexSplitCost
-	s.useDisk(p, s.idxDisk, idxT, &s.stats.IndexIOTime)
+	s.useDisk(w, s.idxDisk, idxT, &s.stats.indexIONs)
 	logT := s.cost.LogTime(rep.LogBytes)
-	s.useDisk(p, s.logDisk, logT, &s.stats.LogIOTime)
+	s.useDisk(w, s.logDisk, logT, &s.stats.logIONs)
 
 	// 4. Lock contention: each other transaction concurrently loading makes
 	// a conflict more likely; beyond the stall threshold rare long stalls
@@ -253,24 +328,23 @@ func (s *Server) execBatch(p *des.Proc, txn *relstore.Txn, table string, columns
 	// degradation (not just flattening) beyond the optimal degree.
 	active := s.txnSlots.InUse() + s.txnSlots.QueueLen()
 	if active > 1 {
-		rng := s.k.Rand()
 		conflictProb := s.cost.LockConflictProbPerWriter * float64(active-1)
-		if rng.Float64() < conflictProb {
+		if s.sched.RandFloat64() < conflictProb {
 			// The wait grows with the number of concurrent writers: the
 			// conflicting batch queues behind the other transactions holding
 			// locks on the same table.
 			wait := time.Duration(active-1) * s.cost.LockWaitCost
-			s.stats.LockWaits++
-			s.stats.LockWaitTime += wait
-			p.Hold(wait)
+			s.stats.lockWaits.Add(1)
+			s.stats.lockWaitNs.Add(int64(wait))
+			w.Sleep(wait)
 			res.LockWaits++
 		}
 		if active > s.cost.StallThreshold {
 			stallProb := s.cost.StallProb * float64(active-s.cost.StallThreshold)
-			if rng.Float64() < stallProb {
-				s.stats.LongStalls++
-				s.stats.LockWaitTime += s.cost.StallCost
-				p.Hold(s.cost.StallCost)
+			if s.sched.RandFloat64() < stallProb {
+				s.stats.longStalls.Add(1)
+				s.stats.lockWaitNs.Add(int64(s.cost.StallCost))
+				w.Sleep(s.cost.StallCost)
 				res.LongStalls++
 			}
 		}
