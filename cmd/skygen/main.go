@@ -1,13 +1,15 @@
 // Command skygen generates synthetic Palomar-Quest catalog files: either a
 // single file of a given nominal size or a whole observation (28 files of
 // varying size), in the tagged interleaved ASCII format the SkyLoader
-// pipeline consumes.
+// pipeline consumes.  With -queries it instead generates a replayable query
+// workload trace (CSV) for skyserve.
 //
 // Usage:
 //
 //	skygen -size 200 -out catalog.cat               # one 200 MB file
 //	skygen -night 1500 -outdir night01/             # one observation, 28 files
 //	skygen -size 50 -error-rate 0.05 -out dirty.cat # with corrupted rows
+//	skygen -queries 5000 -zipf 1.3 -cone-frac 0.4 -out trace.csv
 package main
 
 import (
@@ -15,8 +17,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"skyloader/internal/catalog"
+	"skyloader/internal/serve"
 )
 
 func main() {
@@ -28,13 +33,68 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		errRate   = flag.Float64("error-rate", 0, "fraction of detail rows corrupted")
 		unsorted  = flag.Bool("unsorted", false, "emit child rows before parents (defeats presorting)")
-		out       = flag.String("out", "", "output file for -size (default stdout)")
+		out       = flag.String("out", "", "output file for -size/-queries (default stdout)")
 		outDir    = flag.String("outdir", ".", "output directory for -night")
 		runID     = flag.Int64("run", 1, "observing run id recorded in the observation header")
+
+		// Query-trace generation (-queries mode).
+		nQueries = flag.Int("queries", 0, "generate a query workload trace with this many requests")
+		zipfS    = flag.Float64("zipf", 1.2, "Zipf skew of object/field popularity (> 1)")
+		coneFrac = flag.Float64("cone-frac", 0.4, "fraction of requests that are cone searches")
+		radii    = flag.String("radii", "0.05,0.2,1.0", "comma-separated cone radius mix in degrees")
+		objects  = flag.Int64("objects", 10000, "object-id universe size for lookups")
+		idBase   = flag.Int64("idbase", 100_000_000, "object-id base (match the loaded files' IDBase)")
+		frames   = flag.Int64("frames", 100, "frame-id universe for frame queries (0 disables)")
+		fields   = flag.Int("fields", 24, "number of distinct cone field centres")
+		rate     = flag.Float64("rate", 200, "mean Poisson arrival rate in queries/second")
+		raBase   = flag.Float64("ra-base", 0, "cone-field sky box: RA base in degrees")
+		raSpan   = flag.Float64("ra-spread", 0, "cone-field sky box: RA spread (0 = whole generator range)")
+		decBase  = flag.Float64("dec-base", 0, "cone-field sky box: Dec base in degrees")
+		decSpan  = flag.Float64("dec-spread", 0, "cone-field sky box: Dec spread (0 = whole generator range)")
 	)
 	flag.Parse()
 
 	switch {
+	case *nQueries > 0 && (*size > 0 || *night > 0):
+		fatal(fmt.Errorf("-queries generates a workload trace; combine it with neither -size nor -night"))
+	case *nQueries > 0:
+		radiusMix, err := parseRadii(*radii)
+		if err != nil {
+			fatal(err)
+		}
+		// Aim the cone fields: skyserve derives the box from the files it
+		// generates; a standalone trace must be told where the catalog's sky
+		// is (catalog files land at a random base per seed) or cones will
+		// mostly probe empty sky.
+		trace := serve.GenTrace(serve.TraceSpec{
+			Queries:    *nQueries,
+			Seed:       *seed,
+			ZipfS:      *zipfS,
+			ConeFrac:   *coneFrac,
+			Radii:      radiusMix,
+			Objects:    *objects,
+			IDBase:     *idBase,
+			Frames:     *frames,
+			Fields:     *fields,
+			RatePerSec: *rate,
+			RABase:     *raBase, RASpread: *raSpan,
+			DecBase: *decBase, DecSpread: *decSpan,
+		})
+		w := os.Stdout
+		if *out != "" {
+			file, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer file.Close()
+			w = file
+		}
+		if err := serve.WriteTrace(w, trace); err != nil {
+			fatal(err)
+		}
+		last := trace[len(trace)-1].Arrival
+		fmt.Fprintf(os.Stderr, "generated %d queries over %s (zipf %.2f, %.0f%% cones, seed %d)\n",
+			len(trace), last.Round(1e6), *zipfS, *coneFrac*100, *seed)
 	case *size > 0 && *night > 0:
 		fatal(fmt.Errorf("use either -size or -night, not both"))
 	case *size > 0:
@@ -95,6 +155,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// parseRadii parses the comma-separated cone radius mix.
+func parseRadii(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad cone radius %q", part)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty radius mix")
+	}
+	return out, nil
 }
 
 func fatal(err error) {

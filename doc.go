@@ -19,9 +19,15 @@
 //   - internal/exec       — the execution abstraction (Scheduler/Worker/Resource) with a
 //     DES implementation and a goroutine-backed realtime implementation
 //   - internal/experiments — regeneration of every figure of §5 plus ablations
+//   - internal/queries    — the science-query side (cone search via HTM trixel ranges,
+//     lookups, histograms) behind a Query interface with per-query work stats
+//   - internal/serve      — the concurrent query-serving subsystem: worker pool on
+//     exec.Scheduler, bounded admission with deadlines, sharded LRU result cache
+//     invalidated by relstore commit epochs, per-class latency histograms, and the
+//     mixed load+serve scenario
 //
 // The benchmarks in bench_test.go regenerate the paper's evaluation; the
-// binaries under cmd/ (skygen, skyload, skybench) expose the same
+// binaries under cmd/ (skygen, skyload, skybench, skyserve) expose the same
 // functionality on the command line, and examples/ contains runnable
 // walk-throughs.  See README.md, DESIGN.md and EXPERIMENTS.md.
 //

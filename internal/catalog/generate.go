@@ -78,6 +78,11 @@ type File struct {
 	Name    string
 	Spec    GenSpec
 	Records []Record
+	// RABase/DecBase anchor the file's sky footprint: frames fall in
+	// [RABase, RABase+2), objects up to ~0.5 deg further, the observation's
+	// region record spans RABase..RABase+2.3 and DecBase..DecBase+0.7.
+	// Workload generators aim queries with them (serve.TraceSpec.Boxes).
+	RABase, DecBase float64
 	// NominalBytes is SizeMB expressed in bytes; it is what the loading
 	// experiments use for throughput (MB/s) and staging-time accounting.
 	NominalBytes int64
@@ -169,6 +174,7 @@ func (g *generator) run() {
 	g.raBase = g.rng.Float64() * 330
 	g.decBase = -25 + g.rng.Float64()*50
 	g.mjd = 53600 + g.rng.Float64()*400
+	g.file.RABase, g.file.DecBase = g.raBase, g.decBase
 
 	// Observation header block.
 	g.obsID = g.id(TagOBS)

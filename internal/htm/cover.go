@@ -1,0 +1,149 @@
+package htm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Range is an inclusive range [Lo, Hi] of trixel ids at one subdivision
+// depth.  Because HTM ids are prefix codes, the ids of all depth-d
+// descendants of a trixel form one contiguous range, which is what makes a
+// cover directly usable as a set of B-tree range probes on an htmid index.
+type Range struct {
+	Lo, Hi int64
+}
+
+// Trixels returns the number of trixels in the range.
+func (r Range) Trixels() int64 { return r.Hi - r.Lo + 1 }
+
+// DescendantRange widens a range of depth-d trixel ids to the corresponding
+// range of depth-(d+levels) descendant ids.
+func (r Range) DescendantRange(levels int) Range {
+	shift := uint(2 * levels)
+	return Range{Lo: r.Lo << shift, Hi: ((r.Hi + 1) << shift) - 1}
+}
+
+// coverEps pads the cone radius during pruning so trixels touching the cap
+// boundary within floating-point noise are never dropped.  Overcovering is
+// harmless — candidates are filtered by exact distance afterwards — but an
+// undercover would silently lose matching objects.
+const coverEps = 1e-9
+
+// ConeCover returns sorted, disjoint trixel-id ranges at the given depth
+// whose union covers the spherical cap of radiusDeg around (raDeg, decDeg).
+//
+// The cover is conservative: every trixel that intersects the cap is
+// included (some returned trixels may only graze it).  The test is the
+// bounding-cap comparison — a trixel is kept when the angular distance from
+// its centroid to the cone centre is at most the trixel's circumradius plus
+// the cone radius — which never misses an intersecting trixel because the
+// whole trixel lies within its centroid's circumradius.  Subtrees entirely
+// inside the cap are emitted without further descent, so the output size
+// scales with the boundary, not the area.
+func ConeCover(raDeg, decDeg, radiusDeg float64, depth int) ([]Range, error) {
+	if depth < 0 || depth > MaxDepth {
+		return nil, fmt.Errorf("htm: cover depth %d out of range [0,%d]", depth, MaxDepth)
+	}
+	if radiusDeg <= 0 {
+		return nil, fmt.Errorf("htm: cover radius must be positive, got %v", radiusDeg)
+	}
+	if radiusDeg >= 180 {
+		// The cap is the whole sphere: all trixels at the depth.
+		all := Range{Lo: 8, Hi: 15}.DescendantRange(depth)
+		return []Range{all}, nil
+	}
+	c := coverer{
+		center: FromRaDec(raDeg, decDeg),
+		radius: radiusDeg*math.Pi/180 + coverEps,
+		depth:  depth,
+	}
+	for _, f := range faces {
+		c.visit(f.id, f.a, f.b, f.c, 0)
+	}
+	return mergeRanges(c.out), nil
+}
+
+type coverer struct {
+	center Vector
+	radius float64 // radians, padded
+	depth  int
+	out    []Range
+}
+
+// visit classifies one trixel against the cap and either prunes it, emits its
+// whole depth-level subtree, or recurses into its four children.
+func (c *coverer) visit(id int64, a, b, v Vector, level int) {
+	centroid := add(add(a, b), v).Normalize()
+	circum := maxAngle(centroid, a, b, v)
+	dist := angle(centroid, c.center)
+
+	if dist > circum+c.radius {
+		return // disjoint from the cap
+	}
+	if dist+circum <= c.radius || level == c.depth {
+		// Fully inside the cap (emit the whole subtree) or at target depth.
+		c.out = append(c.out, Range{Lo: id, Hi: id}.DescendantRange(c.depth-level))
+		return
+	}
+	w0 := mid(b, v)
+	w1 := mid(a, v)
+	w2 := mid(a, b)
+	c.visit(id<<2|0, a, w2, w1, level+1)
+	c.visit(id<<2|1, w2, b, w0, level+1)
+	c.visit(id<<2|2, w1, w0, v, level+1)
+	c.visit(id<<2|3, w0, w1, w2, level+1)
+}
+
+// angle returns the angular distance between two unit vectors in radians.
+func angle(a, b Vector) float64 {
+	return math.Acos(clamp(dot(a, b), -1, 1))
+}
+
+// maxAngle returns the largest angular distance from p to any of the vectors.
+func maxAngle(p Vector, vs ...Vector) float64 {
+	max := 0.0
+	for _, v := range vs {
+		if d := angle(p, v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// mergeRanges sorts ranges and coalesces adjacent or overlapping ones.
+func mergeRanges(rs []Range) []Range {
+	if len(rs) <= 1 {
+		return rs
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// CoverDepth picks a coarse HTM depth whose trixels are comparable in size to
+// the search radius (each level halves the triangle side; level-0 triangles
+// span ~90 degrees).  It is the depth cone searches and result-cache keys use,
+// so both must derive it from the same place.
+func CoverDepth(radiusDeg float64) int {
+	depth := 0
+	size := 90.0
+	for size > radiusDeg*2 && depth < DefaultDepth {
+		size /= 2
+		depth++
+	}
+	if depth > 0 {
+		depth--
+	}
+	return depth
+}

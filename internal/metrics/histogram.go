@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: geometric buckets from histMinValue upward with
+// four buckets per octave (~19% relative resolution), which spans a few
+// hundred nanoseconds to well over an hour in a fixed, allocation-free table.
+const (
+	histBuckets        = 140
+	histMinValue       = 250 * time.Nanosecond
+	histBucketsPerOct  = 4
+	histLog2MinValue   = 7.965784284662087 // log2(250)
+	histInvLog2Spacing = float64(histBucketsPerOct)
+)
+
+// Histogram is a fixed-bucket, log-scaled latency histogram safe for
+// concurrent observation: every bucket is an atomic counter, so recording
+// from many serving workers never takes a lock.  Quantiles are answered from
+// the bucket counts with the geometric midpoint of the winning bucket, giving
+// a deterministic answer for a deterministic stream of observations (the DES
+// engine relies on that for reproducible p50/p95/p99 reports).
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	if d < histMinValue {
+		return 0
+	}
+	idx := int((math.Log2(float64(d)) - histLog2MinValue) * histInvLog2Spacing)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue returns the representative (geometric midpoint) duration of a
+// bucket.
+func bucketValue(idx int) time.Duration {
+	exp := histLog2MinValue + (float64(idx)+0.5)/histInvLog2Spacing
+	return time.Duration(math.Exp2(exp))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns the approximate q-quantile (0 < q <= 1) of the observed
+// durations, clamped to the exact observed maximum so tail quantiles never
+// exceed reality.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	if target >= n {
+		// The quantile selects the largest observation, which is tracked
+		// exactly.
+		return h.Max()
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= target {
+			v := bucketValue(i)
+			if max := h.Max(); v > max {
+				return max
+			}
+			return v
+		}
+	}
+	return h.Max()
+}
+
+// HistogramSummary is a point-in-time digest of a histogram.
+type HistogramSummary struct {
+	Count         int64
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
+	Max           time.Duration
+}
+
+// Summary digests the histogram into the percentiles serving reports use.
+func (h *Histogram) Summary() HistogramSummary {
+	return HistogramSummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the summary compactly for reports.
+func (s HistogramSummary) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}

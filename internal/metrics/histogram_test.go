@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zeroed: %+v", h.Summary())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 100 observations: 1ms, 2ms, ..., 100ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %s", h.Max())
+	}
+	// Bucket resolution is ~19%, so quantiles are approximate: check they are
+	// within a bucket's relative error of the exact answer.
+	checks := []struct {
+		q     float64
+		exact time.Duration
+	}{{0.50, 50 * time.Millisecond}, {0.95, 95 * time.Millisecond}, {0.99, 99 * time.Millisecond}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo := time.Duration(float64(c.exact) * 0.78)
+		hi := time.Duration(float64(c.exact) * 1.22)
+		if got < lo || got > hi {
+			t.Fatalf("q%.2f = %s, want within [%s, %s]", c.q, got, lo, hi)
+		}
+	}
+	if h.Quantile(1.0) > h.Max() {
+		t.Fatalf("q1.0 = %s exceeds observed max %s", h.Quantile(1.0), h.Max())
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(1+i*i) * time.Microsecond)
+	}
+	prev := time.Duration(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q%v = %s < %s", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(time.Nanosecond)
+	h.Observe(24 * time.Hour) // far beyond the top bucket
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 24*time.Hour {
+		t.Fatalf("max = %s", h.Max())
+	}
+	if h.Quantile(1.0) != 24*time.Hour {
+		t.Fatalf("top quantile clamps to max, got %s", h.Quantile(1.0))
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const goroutines = 8
+	const each = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(1+g*each+i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != goroutines*each {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*each)
+	}
+	sum := h.Summary()
+	if sum.P50 <= 0 || sum.P95 < sum.P50 || sum.P99 < sum.P95 || sum.Max < sum.P99 {
+		t.Fatalf("summary not ordered: %+v", sum)
+	}
+}

@@ -133,16 +133,37 @@ func (q *fileQueue) take() *catalog.File {
 	return f
 }
 
+// Cluster is a set of spawned loader nodes.  Spawn registers the workers on
+// the server's scheduler without running it, so callers can co-schedule other
+// workloads (e.g. a query-serving trace in internal/serve's mixed scenario)
+// on the same clock before driving everything with a single scheduler Run.
+type Cluster struct {
+	server  *sqlbatch.Server
+	results []NodeResult
+}
+
 // Run performs a cluster load of files against server using cfg.Loaders
 // concurrent loader workers, driving the server's scheduler until every node
 // finishes.  It must be called before the scheduler has been run for other
 // purposes in the same time window.
 func Run(server *sqlbatch.Server, files []*catalog.File, cfg Config) (Result, error) {
+	cl, err := Spawn(server, files, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	server.Scheduler().Run()
+	return cl.Collect()
+}
+
+// Spawn registers cfg.Loaders loader workers for the files on the server's
+// scheduler and returns the pending cluster.  The workers do not run until
+// the scheduler is driven; call Collect after the scheduler's Run returns.
+func Spawn(server *sqlbatch.Server, files []*catalog.File, cfg Config) (*Cluster, error) {
 	if cfg.Loaders <= 0 {
 		cfg.Loaders = 1
 	}
 	if len(files) == 0 {
-		return Result{}, fmt.Errorf("parallel: no files to load")
+		return nil, fmt.Errorf("parallel: no files to load")
 	}
 	sched := server.Scheduler()
 
@@ -157,7 +178,8 @@ func Run(server *sqlbatch.Server, files []*catalog.File, cfg Config) (Result, er
 		}
 	}
 
-	results := make([]NodeResult, cfg.Loaders)
+	cl := &Cluster{server: server, results: make([]NodeResult, cfg.Loaders)}
+	results := cl.results
 	for n := 0; n < cfg.Loaders; n++ {
 		n := n
 		start := time.Duration(n) * cfg.StartStagger
@@ -225,13 +247,18 @@ func Run(server *sqlbatch.Server, files []*catalog.File, cfg Config) (Result, er
 		})
 	}
 
-	sched.Run()
+	return cl, nil
+}
 
-	out := Result{Nodes: results, Server: server.Stats()}
+// Collect aggregates the node results.  It must only be called after the
+// scheduler's Run has returned (every node finished); calling it earlier
+// reads partial results.
+func (c *Cluster) Collect() (Result, error) {
+	out := Result{Nodes: c.results, Server: c.server.Stats()}
 	out.Total.RowsLoadedByTable = make(map[string]int)
 	out.Total.SkippedByTable = make(map[string]int)
 	var firstStart, lastFinish time.Duration
-	for i, r := range results {
+	for i, r := range c.results {
 		if r.Err != nil {
 			return out, fmt.Errorf("parallel: node %d failed: %w", r.Node, r.Err)
 		}

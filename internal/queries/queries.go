@@ -14,6 +14,7 @@ package queries
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"skyloader/internal/catalog"
 	"skyloader/internal/htm"
@@ -83,29 +84,21 @@ func angularDistanceDeg(ra1, dec1, ra2, dec2 float64) float64 {
 }
 
 // coneCoverDepth picks a coarse HTM depth whose trixels are comparable in
-// size to the search radius (each level halves the triangle side; level 0
-// triangles span ~90 degrees).
-func coneCoverDepth(radiusDeg float64) int {
-	depth := 0
-	size := 90.0
-	for size > radiusDeg*2 && depth < htm.DefaultDepth {
-		size /= 2
-		depth++
-	}
-	if depth > 0 {
-		depth--
-	}
-	return depth
-}
+// size to the search radius.  It delegates to htm.CoverDepth so the search
+// path and result-cache signatures always agree on the cover.
+func coneCoverDepth(radiusDeg float64) int { return htm.CoverDepth(radiusDeg) }
 
-// ConeSearch returns the objects within radiusDeg of (raDeg, decDeg).
+// ConeSearch returns the objects within radiusDeg of (raDeg, decDeg), sorted
+// by object id so the answer is deterministic and directly comparable across
+// execution paths.
 //
-// When the htmid index exists, the search enumerates the coarse HTM trixels
-// overlapping the cone's bounding cap and probes the index for the id range
-// of each trixel's descendants, then filters candidates by exact angular
-// distance.  Without the index it degrades to a full scan of the objects
-// table — exactly the query-performance cost the paper accepts temporarily by
-// delaying secondary-index builds.
+// When the htmid index exists, the search covers the cone with coarse HTM
+// trixel ranges (htm.ConeCover), probes the index for each range of
+// descendant ids, and filters candidates by exact angular distance.  Without
+// the index it degrades to a full scan of the objects table — exactly the
+// query-performance cost the paper accepts temporarily by delaying
+// secondary-index builds.  Both paths apply the same exact-distance filter,
+// so for identical table contents they return byte-identical results.
 func ConeSearch(db *relstore.DB, raDeg, decDeg, radiusDeg float64) ([]Object, Stats, error) {
 	if radiusDeg <= 0 {
 		return nil, Stats{}, fmt.Errorf("queries: radius must be positive, got %v", radiusDeg)
@@ -128,51 +121,26 @@ func ConeSearch(db *relstore.DB, raDeg, decDeg, radiusDeg float64) ([]Object, St
 			}
 			return true
 		})
+		sortObjects(out)
 		stats.RowsReturned = len(out)
 		return out, stats, err
 	}
 
 	stats.UsedIndex = true
 	depth := coneCoverDepth(radiusDeg)
-	shift := uint(2 * (htm.DefaultDepth - depth))
-
-	// Probe the trixel containing the centre plus the trixels of sample
-	// points around the cone's rim, deduplicated.  This slightly
-	// over-approximates the cover, which is safe: candidates are filtered by
-	// exact distance afterwards.
-	trixels := map[int64]bool{}
-	addTrixel := func(ra, dec float64) {
-		if dec > 90 {
-			dec = 180 - dec
-			ra += 180
-		}
-		if dec < -90 {
-			dec = -180 - dec
-			ra += 180
-		}
-		ra = math.Mod(ra+720, 360)
-		if id, err := htm.Lookup(ra, dec, depth); err == nil {
-			trixels[id] = true
-		}
-	}
-	addTrixel(raDeg, decDeg)
-	const rimSamples = 12
-	cosDec := math.Cos(decDeg * math.Pi / 180)
-	if math.Abs(cosDec) < 0.05 {
-		cosDec = 0.05
-	}
-	for i := 0; i < rimSamples; i++ {
-		theta := 2 * math.Pi * float64(i) / rimSamples
-		addTrixel(raDeg+radiusDeg*math.Cos(theta)/cosDec, decDeg+radiusDeg*math.Sin(theta))
+	cover, err := htm.ConeCover(raDeg, decDeg, radiusDeg, depth)
+	if err != nil {
+		return nil, stats, err
 	}
 
 	seen := map[int64]bool{}
-	for trixel := range trixels {
+	for _, rg := range cover {
+		// One merged range is one B-tree range probe, however many coarse
+		// trixels it spans — TrixelsScanned prices probes, not area.
 		stats.TrixelsScanned++
-		lo := trixel << shift
-		hi := ((trixel + 1) << shift) - 1
+		ids := rg.DescendantRange(htm.DefaultDepth - depth)
 		rows, err := db.RangeIndexed(catalog.TObjects, tuning.HTMIDIndexName,
-			[]relstore.Value{relstore.Int(lo)}, []relstore.Value{relstore.Int(hi)}, 0)
+			[]relstore.Value{relstore.Int(ids.Lo)}, []relstore.Value{relstore.Int(ids.Hi)}, 0)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -188,8 +156,15 @@ func ConeSearch(db *relstore.DB, raDeg, decDeg, radiusDeg float64) ([]Object, St
 			}
 		}
 	}
+	sortObjects(out)
 	stats.RowsReturned = len(out)
 	return out, stats, nil
+}
+
+// sortObjects orders a result by object id so every execution path (index
+// probe order, heap order, cached copy) yields the same byte sequence.
+func sortObjects(objs []Object) {
+	sort.Slice(objs, func(i, j int) bool { return objs[i].ObjectID < objs[j].ObjectID })
 }
 
 // ObjectByID returns the object with the given primary key, or nil.

@@ -253,9 +253,16 @@ func (db *DB) insert(txn *Txn, tableName string, columns []string, values []Valu
 		db.recordViolation(err)
 		return rep, err
 	}
+	// The pending count rises before the row becomes visible and falls after
+	// a failed store, so ReadStamp's pendingRows == 0 always implies "no
+	// uncommitted rows visible" (over-approximating the visibility window is
+	// safe; under-approximating it would let snapshot readers cache dirty
+	// reads).
+	t.pendingRows.Add(1)
 	id, loc, insRep, err := t.insertPrepared(sc, row)
 	rep.Add(insRep)
 	if err != nil {
+		t.pendingRows.Add(-1)
 		db.recordViolation(err)
 		return rep, err
 	}

@@ -10,6 +10,52 @@ import (
 // support scientific research" (§4.5.1).  These helpers support the examples,
 // post-load validation and the integration tests.
 
+// TableEpoch returns the commit epoch of the named table (0 for an unknown
+// table).  See Table.CommitEpoch.
+func (db *DB) TableEpoch(table string) int64 {
+	t, ok := db.tables[table]
+	if !ok {
+		return 0
+	}
+	return t.CommitEpoch()
+}
+
+// ReadStamp returns the named table's commit epoch together with whether the
+// table is clean: no rows from in-flight transactions are currently visible.
+// A result computed between two identical clean stamps is a consistent view
+// of the committed state at that epoch.
+func (db *DB) ReadStamp(table string) (epoch int64, clean bool) {
+	t, ok := db.tables[table]
+	if !ok {
+		return 0, false
+	}
+	// Order matters: load pendingRows before the epoch.  Commit bumps the
+	// epoch before draining pendingRows, so reading pending first can only
+	// misreport a table as dirty (pending observed just before a commit
+	// settles), never as clean at a stale epoch.
+	pending := t.UncommittedRows()
+	return t.CommitEpoch(), pending == 0
+}
+
+// SnapshotRead runs fn (a read-only operation over the named table) and
+// reports whether it observed a stable committed snapshot: the commit epoch
+// did not advance while fn ran and no uncommitted rows were visible at either
+// end.  The returned epoch identifies the snapshot; a result cache stores it
+// with the result and invalidates the entry once the table's epoch moves on.
+//
+// The engine stores rows at insert time, so a plain read concurrent with a
+// writer can see uncommitted data — that is fine for a one-shot answer but
+// must never be memoized.  SnapshotRead is the read entry point that makes
+// the distinction checkable.
+func (db *DB) SnapshotRead(table string, fn func() error) (epoch int64, stable bool, err error) {
+	e1, clean1 := db.ReadStamp(table)
+	if err := fn(); err != nil {
+		return e1, false, err
+	}
+	e2, clean2 := db.ReadStamp(table)
+	return e2, clean1 && clean2 && e1 == e2, nil
+}
+
 // Count returns the number of live rows in the named table.
 func (db *DB) Count(table string) (int64, error) {
 	t, ok := db.tables[table]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Index is a secondary index over one or more columns of a table.
@@ -63,6 +64,20 @@ type Table struct {
 	// the database size from 50 to 300 GB).
 	prePopulatedBytes int64
 	prePopulatedRows  int64
+
+	// epoch counts committed (and rolled-back) transactions that touched this
+	// table.  Result caches key their entries to the epoch observed while
+	// computing a result: a bump invalidates every cached result for the
+	// table.  Rollbacks bump too, because the engine stores rows at insert
+	// time — rows of a rolled-back transaction were transiently visible to
+	// readers, so any result computed meanwhile must not be served again.
+	epoch atomic.Int64
+
+	// pendingRows counts rows inserted by transactions that have not yet
+	// committed or rolled back.  A reader that observes pendingRows == 0
+	// before and after a scan, with an unchanged epoch, has seen a pure
+	// committed snapshot (see DB.SnapshotRead).
+	pendingRows atomic.Int64
 }
 
 func newTable(schema *TableSchema, btreeDegree int) (*Table, error) {
@@ -156,6 +171,17 @@ func (t *Table) rebuildIndexList() {
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	t.indexList = out
 }
+
+// CommitEpoch returns the table's commit epoch: the number of transactions
+// that touched the table and have since committed or rolled back.  Any change
+// to the epoch means previously computed query results over the table may be
+// stale.
+func (t *Table) CommitEpoch() int64 { return t.epoch.Load() }
+
+// UncommittedRows returns the number of rows currently visible in the table
+// that belong to transactions still in flight.  When it is zero the stored
+// rows are exactly the committed state of the current epoch.
+func (t *Table) UncommittedRows() int64 { return t.pendingRows.Load() }
 
 // Index returns the named index or nil.
 func (t *Table) Index(name string) *Index {

@@ -125,10 +125,51 @@ func (t *Txn) Commit() (CommitReport, error) {
 		CacheScanPages:       scanned,
 		UndoRecordsDiscarded: len(t.undo),
 	}
+	t.settleEpochs()
 	t.db.locks.ReleaseAll(t.id)
 	t.db.counters.commits.Add(1)
 	t.end()
 	return rep, nil
+}
+
+// settleEpochs advances the commit epoch of every table this transaction
+// inserted into and returns the rows to the committed population.  The epoch
+// bump happens before the pending count drops so a snapshot reader can never
+// observe pendingRows == 0 at both ends of a scan with an unchanged epoch
+// while this transaction's rows flipped from uncommitted to committed in
+// between (see DB.SnapshotRead).
+func (t *Txn) settleEpochs() {
+	if len(t.undo) == 0 {
+		return
+	}
+	// Count rows per distinct table; transactions touch a handful of tables,
+	// so a linear scan over a small slice beats a map allocation.
+	type touched struct {
+		table *Table
+		rows  int64
+	}
+	var touchedTables []touched
+	for _, u := range t.undo {
+		tbl := t.db.tables[u.table]
+		if tbl == nil {
+			continue
+		}
+		found := false
+		for i := range touchedTables {
+			if touchedTables[i].table == tbl {
+				touchedTables[i].rows++
+				found = true
+				break
+			}
+		}
+		if !found {
+			touchedTables = append(touchedTables, touched{table: tbl, rows: 1})
+		}
+	}
+	for _, tc := range touchedTables {
+		tc.table.epoch.Add(1)
+		tc.table.pendingRows.Add(-tc.rows)
+	}
 }
 
 // Rollback undoes every insert performed by the transaction and ends it.
@@ -145,6 +186,7 @@ func (t *Txn) Rollback() error {
 			t.db.counters.rowsInserted.Add(-1)
 		}
 	}
+	t.settleEpochs()
 	t.db.locks.ReleaseAll(t.id)
 	t.db.counters.rollbacks.Add(1)
 	t.end()

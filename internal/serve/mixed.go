@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"fmt"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/parallel"
+	"skyloader/internal/sqlbatch"
+)
+
+// MixedResult is the outcome of a combined load+serve run.
+type MixedResult struct {
+	// Load is the bulk-loading half (per-node stats, makespan, throughput).
+	Load parallel.Result
+	// Serve is the query-serving half (latency histograms, cache hit rate).
+	Serve Report
+}
+
+// RunMixed executes the paper-relevant mixed scenario: loader nodes bulk-load
+// catalog files while query workers serve a request trace, all on one
+// scheduler and one database.  On the DES engine the interleaving is
+// deterministic and the report shows how loading-phase choices (index policy,
+// commit frequency, parallelism) move query latency — Figure 8's trade-off
+// observed live from the query side.  On the realtime engine loaders and
+// query workers are real goroutines contending on the concurrent engine.
+//
+// The load server and the query server must share a scheduler and a
+// database: the whole point is contention on one repository.
+func RunMixed(loadServer *sqlbatch.Server, files []*catalog.File, loadCfg parallel.Config, qs *Server, reqs []Request) (MixedResult, error) {
+	if loadServer.Scheduler() != qs.sched {
+		return MixedResult{}, fmt.Errorf("serve: load server and query server run on different schedulers")
+	}
+	if loadServer.DB() != qs.db {
+		return MixedResult{}, fmt.Errorf("serve: load server and query server host different databases")
+	}
+	cluster, err := parallel.Spawn(loadServer, files, loadCfg)
+	if err != nil {
+		return MixedResult{}, err
+	}
+	qs.SpawnTrace(reqs)
+	elapsed := qs.sched.Run()
+	loadRes, err := cluster.Collect()
+	if err != nil {
+		return MixedResult{}, err
+	}
+	return MixedResult{Load: loadRes, Serve: qs.Report(elapsed)}, nil
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/core"
+	"skyloader/internal/exec"
+	"skyloader/internal/parallel"
+	"skyloader/internal/queries"
+	"skyloader/internal/relstore"
+	"skyloader/internal/tuning"
+)
+
+// TestRaceCacheNeverServesUncommittedRows is the mixed-scenario stress test:
+// concurrent loader transactions (half of which roll back) race query
+// workers that share one epoch-invalidated cache.  The invariant under
+// go test -race: a cache hit never returns a row of a rolled-back
+// transaction, and never a row of a transaction that had not committed when
+// the entry was stored.
+//
+// Rolled-back rows are the detector for both halves: every writer transaction
+// is equally likely to roll back, so if results computed over in-flight rows
+// ever entered the cache, roughly half of those leaked rows would belong to
+// transactions that subsequently rolled back — and any such id in a hit is
+// flagged.  (A plain uncached read MAY see uncommitted rows; that is the
+// engine's documented dirty-read behaviour and exactly why only
+// SnapshotRead-stable results are cacheable.)
+func TestRaceCacheNeverServesUncommittedRows(t *testing.T) {
+	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{MaxConcurrentTxns: 32})
+	setup, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := catalog.SeedReference(setup, 4); err != nil {
+		t.Fatal(err)
+	}
+	ins := func(table string, cols []string, vals []relstore.Value) {
+		if _, err := setup.Insert(table, cols, vals); err != nil {
+			t.Fatalf("insert into %s: %v", table, err)
+		}
+	}
+	ins(catalog.TObservations,
+		[]string{"obs_id", "telescope_id", "mjd_start", "ra_center", "dec_center", "airmass", "filter_set"},
+		[]relstore.Value{relstore.Int(1), relstore.Int(1), relstore.Float(53600), relstore.Float(120),
+			relstore.Float(-30), relstore.Float(1.2), relstore.Str("r")})
+	ins(catalog.TCCDColumns,
+		[]string{"ccd_col_id", "obs_id", "ccd_id", "ccd_number", "filter", "ra_center", "dec_center"},
+		[]relstore.Value{relstore.Int(1), relstore.Int(1), relstore.Int(1), relstore.Int(1),
+			relstore.Str("r"), relstore.Float(120), relstore.Float(-30)})
+	ins(catalog.TCCDFrames,
+		[]string{"frame_id", "ccd_col_id", "frame_number", "mjd_start", "exposure_s"},
+		[]relstore.Value{relstore.Int(1), relstore.Int(1), relstore.Int(1), relstore.Float(53600.1), relstore.Float(140)})
+	if _, err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tuning.ApplyIndexPolicy(db, tuning.HTMIDOnly); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers  = 4
+		txnsEach = 60
+		perTxn   = 8
+	)
+
+	// rolledBack records ids whose transaction rolled back; committed records
+	// ids whose transaction committed.  Both only ever grow, and entries are
+	// added AFTER the outcome settles, so membership in rolledBack proves the
+	// row must never appear in a cached (committed-snapshot) result.
+	var mu sync.Mutex
+	rolledBack := make(map[int64]bool)
+	committed := make(map[int64]bool)
+
+	cache := NewCache(4, 64)
+	cone := queries.Cone{RA: 120.01, Dec: -30.01, RadiusDeg: 5} // covers every inserted object
+	var wg sync.WaitGroup
+
+	for wr := 0; wr < writers; wr++ {
+		wr := wr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < txnsEach; i++ {
+				txn, err := db.BeginBlocking()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				base := int64(1_000_000*(wr+1) + i*perTxn)
+				for j := int64(0); j < perTxn; j++ {
+					insertObject(t, txn, base+j)
+				}
+				if i%2 == 1 {
+					if err := txn.Rollback(); err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					for j := int64(0); j < perTxn; j++ {
+						rolledBack[base+j] = true
+					}
+					mu.Unlock()
+				} else {
+					if _, err := txn.Commit(); err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					for j := int64(0); j < perTxn; j++ {
+						committed[base+j] = true
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	const readers = 4
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sig := cone.Signature()
+			for i := 0; i < 400; i++ {
+				if res, ok := cache.Get(db, sig); ok {
+					mu.Lock()
+					for _, obj := range res.Objects {
+						if rolledBack[obj.ObjectID] {
+							t.Errorf("cache hit served object %d from a rolled-back transaction", obj.ObjectID)
+						}
+					}
+					mu.Unlock()
+					continue
+				}
+				var res queries.Result
+				epoch, stable, err := db.SnapshotRead(cone.Table(), func() error {
+					r, err := cone.Run(db)
+					res = r
+					return err
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if stable {
+					// Every row of a stable snapshot must already be settled
+					// as committed — never rolled back, never still pending.
+					mu.Lock()
+					for _, obj := range res.Objects {
+						if rolledBack[obj.ObjectID] {
+							t.Errorf("stable snapshot contains rolled-back object %d", obj.ObjectID)
+						}
+					}
+					mu.Unlock()
+					cache.Put(db, sig, cone.Table(), epoch, res)
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+
+	// Quiesced: a fresh stable read must now see exactly the committed ids.
+	var final queries.Result
+	_, stable, err := db.SnapshotRead(cone.Table(), func() error {
+		r, err := cone.Run(db)
+		final = r
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable {
+		t.Fatal("quiesced database not stable")
+	}
+	got := make(map[int64]bool, len(final.Objects))
+	for _, obj := range final.Objects {
+		got[obj.ObjectID] = true
+		if rolledBack[obj.ObjectID] {
+			t.Fatalf("rolled-back object %d visible after quiesce", obj.ObjectID)
+		}
+	}
+	for id := range committed {
+		if !got[id] {
+			t.Fatalf("committed object %d missing from final snapshot", id)
+		}
+	}
+	// And the cache, if it still holds the entry, must agree with the final
+	// state or refuse to serve.
+	if res, ok := cache.Get(db, cone.Signature()); ok {
+		if len(res.Objects) != len(final.Objects) {
+			t.Fatalf("surviving cache entry has %d objects, current committed state has %d",
+				len(res.Objects), len(final.Objects))
+		}
+	}
+}
+
+// TestRaceMixedRunRealtime runs the full mixed scenario (parallel bulk load +
+// query serving through one Server) on the realtime engine; under -race this
+// exercises every lock edge between the loader path, the epoch counters, the
+// cache shards and the histograms.
+func TestRaceMixedRunRealtime(t *testing.T) {
+	sched := exec.NewRealtime(exec.RealtimeConfig{Seed: 17})
+	env := newServeEnv(t, sched, tuning.HTMIDOnly, Config{Workers: 4, QueueDepth: 100_000})
+	files := testFiles(6, 10, 17)
+	trace := testTrace(500, 19)
+	res, err := RunMixed(env.load, files, parallel.Config{
+		Loaders: 4,
+		Loader:  core.Config{BatchSize: 40, ArraySize: 1000},
+	}, env.server, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Load.Total.RowsLoaded == 0 || res.Serve.Served == 0 {
+		t.Fatalf("mixed realtime run degenerate: loaded %d, served %d",
+			res.Load.Total.RowsLoaded, res.Serve.Served)
+	}
+	if orphans, _ := env.db.VerifyIntegrity(); orphans != 0 {
+		t.Fatalf("%d orphaned rows after mixed run", orphans)
+	}
+}

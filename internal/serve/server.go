@@ -1,0 +1,395 @@
+// Package serve is the query-serving subsystem: it turns the one-shot
+// science queries of internal/queries into a concurrent server with admission
+// control, per-query deadlines, a sharded epoch-invalidated result cache and
+// per-class latency histograms.
+//
+// The paper's repository is explicitly dual-purpose — a warehouse for
+// incrementally loaded data *and* "a query engine to support scientific
+// research" (§4.5.1); keeping the htmid index alive during intensive loading
+// (the Figure 8 trade-off) only makes sense because queries arrive while
+// loading runs.  This package models that serving half, on both execution
+// engines:
+//
+//   - On the DES scheduler, requests are simulation processes: queue waits
+//     and service times are charged in virtual time through a calibrated
+//     cost model, and a seed fully determines the latency distribution —
+//     reproducible capacity planning.
+//   - On the realtime scheduler, every request is a goroutine against the
+//     concurrent engine and the histograms record real wall-clock latency.
+//
+// The mixed scenario (RunMixed) co-schedules loader nodes and a query trace
+// on one scheduler, which is how the Figure 8 index trade-off becomes
+// observable as serving latency rather than only as loading cost.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"skyloader/internal/exec"
+	"skyloader/internal/metrics"
+	"skyloader/internal/queries"
+	"skyloader/internal/relstore"
+)
+
+// Config controls the serving layer.
+type Config struct {
+	// Workers is the number of concurrent query executors (the worker-pool
+	// size; capacity of the admission resource).
+	Workers int
+	// QueueDepth bounds the admission queue: a request arriving while
+	// QueueDepth requests are already waiting is shed immediately
+	// (backpressure instead of unbounded queueing).  Values <= 0 mean
+	// 4×Workers.
+	QueueDepth int
+	// Deadline is the per-query queue-wait budget: a request that waited
+	// longer is abandoned without executing (its client has given up).
+	// 0 disables deadlines.
+	Deadline time.Duration
+	// CacheShards and CacheEntriesPerShard size the result cache.
+	// CacheShards 0 means 8; CacheEntriesPerShard 0 means 128.
+	// CacheShards < 0 disables the cache entirely.
+	CacheShards          int
+	CacheEntriesPerShard int
+	// Cost converts query work reports into DES service time.
+	Cost CostModel
+}
+
+// DefaultConfig returns a moderate serving configuration.
+func DefaultConfig() Config {
+	return Config{
+		Workers:              4,
+		QueueDepth:           16,
+		Deadline:             2 * time.Second,
+		CacheShards:          8,
+		CacheEntriesPerShard: 128,
+		Cost:                 DefaultCostModel(),
+	}
+}
+
+// CostModel converts a query's physical-work report into simulated service
+// time, the same way sqlbatch's cost model prices inserts.  It only shapes
+// virtual time on the DES engine; on the realtime engine Sleep is a no-op at
+// the default time scale and measured latency is real execution time.
+type CostModel struct {
+	// PerQuery is the fixed per-request overhead (parse, plan, round trip).
+	PerQuery time.Duration
+	// PerRowExamined prices inspecting one candidate row.
+	PerRowExamined time.Duration
+	// PerTrixelProbe prices one B-tree range probe of the htmid index.
+	PerTrixelProbe time.Duration
+	// PerRowReturned prices materializing one result row.
+	PerRowReturned time.Duration
+	// FullScanPerRow prices one row of an unindexed full scan (cheaper per
+	// row than an index probe's random access, but over every row).
+	FullScanPerRow time.Duration
+	// CacheHit is the cost of serving a result from the cache.
+	CacheHit time.Duration
+}
+
+// DefaultCostModel prices query work in the same order of magnitude as the
+// loading cost model: microseconds per row touched, a fixed half-millisecond
+// floor per query.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerQuery:       500 * time.Microsecond,
+		PerRowExamined: 12 * time.Microsecond,
+		PerTrixelProbe: 80 * time.Microsecond,
+		PerRowReturned: 4 * time.Microsecond,
+		FullScanPerRow: 2 * time.Microsecond,
+		CacheHit:       60 * time.Microsecond,
+	}
+}
+
+// QueryCost prices an executed query.
+func (m CostModel) QueryCost(st queries.Stats) time.Duration {
+	d := m.PerQuery + time.Duration(st.RowsReturned)*m.PerRowReturned
+	if st.UsedIndex {
+		d += time.Duration(st.RowsExamined)*m.PerRowExamined +
+			time.Duration(st.TrixelsScanned)*m.PerTrixelProbe
+	} else {
+		d += time.Duration(st.RowsExamined) * m.FullScanPerRow
+	}
+	return d
+}
+
+// classState is the per-query-class accounting.
+type classState struct {
+	requests atomic.Int64
+	served   atomic.Int64
+	hits     atomic.Int64
+	latency  *metrics.Histogram
+}
+
+// Server is the query-serving layer on one execution scheduler.
+type Server struct {
+	sched exec.Scheduler
+	db    *relstore.DB
+	cfg   Config
+	cache *Cache
+
+	workers exec.Resource
+
+	classes map[string]*classState
+	wait    *metrics.Histogram
+
+	requests atomic.Int64
+	served   atomic.Int64
+	shed     atomic.Int64
+	expired  atomic.Int64
+	errors   atomic.Int64
+	unstable atomic.Int64
+}
+
+// NewServer creates a serving layer for db on sched.  The scheduler must be
+// the one every co-scheduled workload (e.g. a concurrent bulk load) uses.
+func NewServer(sched exec.Scheduler, db *relstore.DB, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultConfig().Workers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.CacheShards == 0 {
+		cfg.CacheShards = DefaultConfig().CacheShards
+	}
+	if cfg.CacheEntriesPerShard <= 0 {
+		cfg.CacheEntriesPerShard = DefaultConfig().CacheEntriesPerShard
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	s := &Server{
+		sched:   sched,
+		db:      db,
+		cfg:     cfg,
+		workers: sched.NewResource("query-workers", cfg.Workers),
+		classes: make(map[string]*classState, 4),
+		wait:    metrics.NewHistogram(),
+	}
+	if cfg.CacheShards > 0 {
+		s.cache = NewCache(cfg.CacheShards, cfg.CacheEntriesPerShard)
+	}
+	for _, cls := range []string{queries.ClassCone, queries.ClassLookup, queries.ClassFrame, queries.ClassHistogram} {
+		s.classes[cls] = &classState{latency: metrics.NewHistogram()}
+	}
+	return s
+}
+
+// DB returns the served database.
+func (s *Server) DB() *relstore.DB { return s.db }
+
+// Cache returns the result cache (nil when disabled).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// SpawnTrace registers one worker per request on the scheduler, starting at
+// each request's arrival offset.  The workers do not run until the scheduler
+// is driven; co-schedule other workloads first, then call the scheduler's
+// Run (or use Serve for a serve-only run).
+//
+// On the DES engine arrivals are scheduled directly in virtual time.  On the
+// realtime engine the worker goroutine sleeps until its wall-clock arrival
+// itself: the runtime's SpawnAt delay is scaled by TimeScale (0 by default —
+// start staggers belong to simulated dispatch), but a workload trace's
+// arrival process IS the experiment, so it is paced in real time regardless
+// of how simulated service costs are scaled.
+func (s *Server) SpawnTrace(reqs []Request) {
+	deterministic := s.sched.Deterministic()
+	for i, r := range reqs {
+		r := r
+		name := fmt.Sprintf("query-%05d", i+1)
+		if deterministic {
+			s.sched.SpawnAt(r.Arrival, name, func(w exec.Worker) {
+				s.handle(w, r.Query)
+			})
+			continue
+		}
+		s.sched.Spawn(name, func(w exec.Worker) {
+			if d := r.Arrival - w.Now(); d > 0 {
+				time.Sleep(d)
+			}
+			s.handle(w, r.Query)
+		})
+	}
+}
+
+// Serve runs a serve-only workload to completion and returns the report.
+func (s *Server) Serve(reqs []Request) Report {
+	s.SpawnTrace(reqs)
+	elapsed := s.sched.Run()
+	return s.Report(elapsed)
+}
+
+// handle is the per-request worker body: admission, deadline, cache, execute,
+// account.
+func (s *Server) handle(w exec.Worker, q queries.Query) {
+	cls := s.classes[q.Class()]
+	if cls == nil {
+		// Unknown class: account it under a lazily shared bucket is not
+		// worth a lock; treat as an error.
+		s.errors.Add(1)
+		return
+	}
+	s.requests.Add(1)
+	cls.requests.Add(1)
+
+	// Admission control: shed immediately when the queue is full.  QueueLen
+	// is exact on the DES engine (single runner) and a good-faith estimate
+	// under real concurrency — the paper's production system sheds on a
+	// listener backlog the same way.
+	if s.workers.QueueLen() >= s.cfg.QueueDepth {
+		s.shed.Add(1)
+		return
+	}
+	arrived := w.Now()
+	s.workers.Acquire(w, 1)
+	defer s.workers.Release(w, 1)
+	waited := w.Now() - arrived
+	s.wait.Observe(waited)
+	if s.cfg.Deadline > 0 && waited > s.cfg.Deadline {
+		// The client gave up while we queued; executing now would be wasted
+		// work (and on the DES engine would distort the latency histogram
+		// with answers nobody received).
+		s.expired.Add(1)
+		return
+	}
+
+	var sig string
+	if s.cache != nil {
+		sig = q.Signature()
+		if _, ok := s.cache.Get(s.db, sig); ok {
+			w.Sleep(s.cfg.Cost.CacheHit)
+			cls.hits.Add(1)
+			cls.served.Add(1)
+			s.served.Add(1)
+			cls.latency.Observe(w.Now() - arrived)
+			return
+		}
+	}
+
+	var res queries.Result
+	epoch, stable, err := s.db.SnapshotRead(q.Table(), func() error {
+		r, err := q.Run(s.db)
+		res = r
+		return err
+	})
+	if err != nil {
+		s.errors.Add(1)
+		return
+	}
+	w.Sleep(s.cfg.Cost.QueryCost(res.Stats))
+	if s.cache != nil {
+		if stable {
+			s.cache.Put(s.db, sig, q.Table(), epoch, res)
+		} else {
+			// The read overlapped in-flight loader transactions: the answer
+			// is returned to this client but never memoized.
+			s.unstable.Add(1)
+		}
+	}
+	cls.served.Add(1)
+	s.served.Add(1)
+	cls.latency.Observe(w.Now() - arrived)
+}
+
+// ClassReport is the per-query-class slice of a Report.
+type ClassReport struct {
+	Class     string
+	Requests  int64
+	Served    int64
+	CacheHits int64
+	Latency   metrics.HistogramSummary
+}
+
+// Report is the outcome of a serving run.
+type Report struct {
+	// Engine names the execution engine ("des" or "realtime").
+	Engine string
+	// Elapsed is the makespan of the scheduler run that served the trace.
+	Elapsed time.Duration
+	// Workers and QueueDepth echo the configuration.
+	Workers, QueueDepth int
+
+	Requests int64
+	Served   int64
+	Shed     int64
+	Expired  int64
+	Errors   int64
+	// Unstable counts answers computed over in-flight loader writes: served
+	// to their client, never cached.
+	Unstable int64
+
+	Cache     CacheStats
+	QueueWait metrics.HistogramSummary
+	Classes   []ClassReport
+}
+
+// Report snapshots the serving counters after a run of the scheduler.
+func (s *Server) Report(elapsed time.Duration) Report {
+	engine := "realtime"
+	if s.sched.Deterministic() {
+		engine = "des"
+	}
+	rep := Report{
+		Engine:     engine,
+		Elapsed:    elapsed,
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Requests:   s.requests.Load(),
+		Served:     s.served.Load(),
+		Shed:       s.shed.Load(),
+		Expired:    s.expired.Load(),
+		Errors:     s.errors.Load(),
+		Unstable:   s.unstable.Load(),
+		QueueWait:  s.wait.Summary(),
+	}
+	if s.cache != nil {
+		rep.Cache = s.cache.Stats()
+	}
+	for _, cls := range []string{queries.ClassCone, queries.ClassLookup, queries.ClassFrame, queries.ClassHistogram} {
+		st := s.classes[cls]
+		if st.requests.Load() == 0 {
+			continue
+		}
+		rep.Classes = append(rep.Classes, ClassReport{
+			Class:     cls,
+			Requests:  st.requests.Load(),
+			Served:    st.served.Load(),
+			CacheHits: st.hits.Load(),
+			Latency:   st.latency.Summary(),
+		})
+	}
+	return rep
+}
+
+// QPS returns served queries per second of elapsed time.
+func (r Report) QPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Served) / r.Elapsed.Seconds()
+}
+
+// Render writes the report as text tables.
+func (r Report) Render(w io.Writer) error {
+	fmt.Fprintf(w, "engine: %s  workers: %d  queue: %d  elapsed: %s\n",
+		r.Engine, r.Workers, r.QueueDepth, r.Elapsed.Round(time.Microsecond))
+	fmt.Fprintf(w, "requests: %d  served: %d (%.0f qps)  shed: %d  expired: %d  errors: %d  uncacheable: %d\n",
+		r.Requests, r.Served, r.QPS(), r.Shed, r.Expired, r.Errors, r.Unstable)
+	fmt.Fprintf(w, "cache: %.1f%% hit rate (%d hits, %d misses, %d stale, %d entries)\n",
+		r.Cache.HitRate()*100, r.Cache.Hits, r.Cache.Misses, r.Cache.StaleHits, r.Cache.Entries)
+	fmt.Fprintf(w, "queue wait: %s\n", r.QueueWait)
+
+	t := &metrics.Table{
+		Title:   "per-class latency",
+		Columns: []string{"class", "requests", "served", "cache_hits", "p50_ms", "p95_ms", "p99_ms", "max_ms"},
+	}
+	for _, c := range r.Classes {
+		t.AddRow(c.Class, c.Requests, c.Served, c.CacheHits,
+			float64(c.Latency.P50)/1e6, float64(c.Latency.P95)/1e6,
+			float64(c.Latency.P99)/1e6, float64(c.Latency.Max)/1e6)
+	}
+	return t.Render(w)
+}
