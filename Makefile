@@ -1,0 +1,31 @@
+# Developer entry points.  CI invokes these same targets for its build, vet,
+# test, race, bench and smoke steps so local runs and the pipeline cannot
+# drift (the workflow keeps a few extra targeted -race steps of its own).
+
+GO ?= go
+
+.PHONY: all build vet test race bench smoke
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Batch-apply benchmark smoke: exercises the per-row loop, Txn.InsertBatch
+# and the sorted bulk B-tree pass so the batch path cannot silently regress
+# or break.  -benchtime=100x keeps it a smoke test (counts, not timings);
+# real measurements live in BENCH_batchapply.json and need a quiet host.
+bench:
+	$(GO) test -run '^$$' -bench 'InsertBatch|InsertPrepared|BTreeInsertSorted' -benchtime=100x ./internal/relstore/
+
+smoke:
+	$(GO) run ./cmd/skyserve -smoke

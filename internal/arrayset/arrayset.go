@@ -21,6 +21,11 @@ import (
 )
 
 // Array buffers pending rows for one destination table.
+//
+// Rows is handed to the batch-apply path by reference (sub-slices go straight
+// into Stmt.ExecuteBatchRows): the buffer is stable from the moment a row is
+// added until the flush cycle that drains it completes, and nothing mutates
+// buffered rows in between, so the flush path performs no per-row copies.
 type Array struct {
 	Table   string
 	Columns []string
@@ -123,12 +128,24 @@ func (s *ArraySet) sizeFor(table string) int {
 // the memory high-water mark), i.e. whether the caller should flush now.
 // created reports whether a new array had to be allocated for this row.
 func (s *ArraySet) Add(table string, columns []string, values []relstore.Value, sourceLine int) (full, created bool, err error) {
-	if _, known := s.order[table]; !known {
-		return false, false, fmt.Errorf("arrayset: table %q is not part of the schema", table)
-	}
 	arr, ok := s.arrays[table]
 	if !ok {
-		arr = &Array{Table: table, Columns: columns}
+		// Schema membership only needs checking when no array exists yet: a
+		// hit in s.arrays implies the table was validated when the array was
+		// created, so the steady-state add path pays one map lookup, not two.
+		if _, known := s.order[table]; !known {
+			return false, false, fmt.Errorf("arrayset: table %q is not part of the schema", table)
+		}
+		// Pre-size the buffers to the flush threshold: an array almost always
+		// fills to exactly that size before the set is drained, so reserving
+		// it up front removes the append regrowth copies from the add path.
+		size := s.sizeFor(table)
+		arr = &Array{
+			Table:       table,
+			Columns:     columns,
+			Rows:        make([][]relstore.Value, 0, size),
+			SourceLines: make([]int, 0, size),
+		}
 		s.arrays[table] = arr
 		s.active = append(s.active, table)
 		s.arraysCreated++

@@ -26,6 +26,13 @@ type NonBulkConfig struct {
 // "series of individual SQL insert statements" baseline of §5.1.  Because the
 // catalog files are presorted parent-before-child, row-at-a-time insertion in
 // file order respects the foreign keys without any buffering.
+//
+// This loader must never be routed through the batch-apply path
+// (Txn.InsertBatch or Stmt.ExecuteBatchRows): it exists to measure what
+// loading costs WITHOUT batch amortization, so every row keeps paying its own
+// database call, table-lock round trip, WAL append and index descent.
+// Quietly batching it would make the Figure 4 bulk-vs-non-bulk comparison
+// dishonest in wall-clock mode.
 type NonBulkLoader struct {
 	conn  *sqlbatch.Conn
 	cfg   NonBulkConfig

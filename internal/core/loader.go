@@ -333,6 +333,12 @@ func (l *Loader) loadArray(arr *arrayset.Array) error {
 // into batches of batch-size, insert each batch in one database call, and on
 // an error skip the offending row and return the index following it so the
 // caller can resume.
+//
+// Batches are handed to the server as sub-slices of the array buffer rather
+// than copied row-by-row through AddBatch: the array is stable until the
+// flush cycle ends (random access into it is exactly what the array-set
+// exists for), so the only per-row work left on this path is the engine's
+// own validation and storage.
 func (l *Loader) batchRow(arr *arrayset.Array, firstIdx, lastIdx int) (int, error) {
 	stmt := l.conn.Prepare(arr.Table, arr.Columns)
 	idx := firstIdx
@@ -341,10 +347,7 @@ func (l *Loader) batchRow(arr *arrayset.Array, firstIdx, lastIdx int) (int, erro
 		if end > lastIdx+1 {
 			end = lastIdx + 1
 		}
-		for i := idx; i < end; i++ {
-			stmt.AddBatch(arr.Rows[i])
-		}
-		res, err := stmt.ExecuteBatch()
+		res, err := stmt.ExecuteBatchRows(arr.Rows[idx:end])
 		if err != nil {
 			return lastIdx + 1, fmt.Errorf("core: execute batch on %s: %w", arr.Table, err)
 		}

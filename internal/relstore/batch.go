@@ -1,0 +1,474 @@
+package relstore
+
+import (
+	"fmt"
+	"slices"
+)
+
+// This file implements the batch-apply insert path: one Txn.InsertBatch call
+// applies a whole loader batch through the storage engine with per-batch
+// instead of per-row synchronization.  The paper's core claim is that bulk
+// loading wins by amortizing per-row costs across batches (§4.2); the per-row
+// path (DB.insert) pays a table-lock round trip, a WAL mutex+append, lock
+// manager bookkeeping, and a top-down B-tree descent for every row, and this
+// path pays each of those once per batch instead:
+//
+//   - every row is coerced up front, before any lock is taken;
+//   - the table's write lock is taken once for the whole batch;
+//   - one group WAL record (WAL.AppendInsertGroup) replaces n mutexed appends;
+//   - lock-manager row locks are registered in one LockRows call;
+//   - secondary indexes are maintained by a sorted bulk merge: the batch's
+//     keys are collected into pooled scratch slices, sorted, and inserted via
+//     the leaf-aware BTree.InsertSorted sequential pass;
+//   - the commit-epoch pending counter moves once per batch.
+//
+// Semantics are identical to calling Txn.Insert once per row (the property
+// test in batch_test.go enforces this): rows are validated in order with JDBC
+// first-failure semantics — rows before the failing row are applied and stay
+// applied, the failing row and everything after it are not — and the same
+// constraint is reported for the same failing row, including intra-batch
+// duplicate keys and foreign keys satisfied by earlier rows of the same batch.
+//
+// The discrete-event cost model deliberately does NOT use this path: the §5
+// virtual-time figures are calibrated against per-row physical work, so the
+// sqlbatch server keeps the per-row loop under the DES scheduler and routes
+// only wall-clock execution through InsertBatch (see sqlbatch.Server.execBatch).
+
+// BatchReport describes the outcome of one InsertBatch call.
+type BatchReport struct {
+	// Report is the engine's physical-work report for the whole call.
+	Report OpReport
+	// RowsInserted is the number of rows applied (all of them when the error
+	// is nil).
+	RowsInserted int
+	// FailedIndex is the zero-based index of the first failing row, or -1
+	// when every row was applied.  Rows before FailedIndex are applied; the
+	// failing row and all rows after it are not.
+	FailedIndex int
+}
+
+// InsertBatch validates and stores a batch of rows in the named table with
+// per-batch amortized locking, logging and index maintenance.  columns
+// selects which attributes the values of every row correspond to;
+// unspecified columns are NULL.  On a constraint violation the rows before
+// the offender remain applied and the violation is returned together with
+// the offender's index (JDBC batch-update semantics, matching a loop of
+// Insert calls that stops at the first error).
+func (t *Txn) InsertBatch(table string, columns []string, rows [][]Value) (BatchReport, error) {
+	if !t.active {
+		return BatchReport{FailedIndex: 0}, ErrTxnNotActive
+	}
+	return t.db.insertBatch(t, table, columns, rows)
+}
+
+// insertBatch validates and stores a batch of rows on behalf of txn.
+func (db *DB) insertBatch(txn *Txn, tableName string, columns []string, rows [][]Value) (BatchReport, error) {
+	res := BatchReport{FailedIndex: -1}
+	if len(rows) == 0 {
+		return res, nil
+	}
+	t, ok := db.tables[tableName]
+	if !ok {
+		db.counters.rowsRejected.Add(1)
+		db.recordViolationKind(KindUnknownTable)
+		res.FailedIndex = 0
+		return res, &ConstraintError{Kind: KindUnknownTable, Table: tableName}
+	}
+	sc := txn.sc
+	rep := &res.Report
+
+	// Phase 1: coerce every row up front.  Coercion touches only the
+	// immutable schema, so the whole batch is type-checked before any lock is
+	// taken; a coercion failure at row i still lets rows 0..i-1 proceed.
+	built, buildErr := t.buildRowsBatch(sc, columns, rows)
+
+	// Phase 2: apply the coerced prefix under one table-lock hold.  The
+	// pending count rises for the whole batch before any row becomes visible
+	// and the unapplied remainder is returned afterwards — over-approximating
+	// the uncommitted-visibility window is safe (see DB.insert), while
+	// under-approximating it would let snapshot readers cache dirty reads.
+	t.pendingRows.Add(int64(len(rows)))
+	inserted, firstPage, lastPage, applyErr := t.insertBatchLocked(db, txn, built, rep)
+	t.pendingRows.Add(-int64(len(rows) - inserted))
+
+	// applyErr, when set, failed at row `inserted`; otherwise a phase-1
+	// build error failed at row len(built) == inserted, with every built row
+	// applied.  Either way the failing index is the first unapplied row.
+	err := applyErr
+	if err == nil {
+		err = buildErr
+	}
+	res.RowsInserted = inserted
+	if err != nil {
+		res.FailedIndex = inserted
+		db.recordViolation(err)
+	}
+	if inserted == 0 {
+		return res, err
+	}
+
+	// Per-batch lock, log and cache accounting — once, not once per row.
+	other, lockErr := db.locks.LockRows(txn.id, tableName, inserted)
+	if lockErr != nil {
+		// Rows are stored; a lock accounting failure indicates misuse of the
+		// transaction, which we surface loudly (as DB.insert does).
+		panic(lockErr)
+	}
+	if other > 0 {
+		db.counters.lockConflicts.Add(1)
+	}
+	rep.LogBytes += db.wal.AppendInsertGroup(inserted, rep.RowBytes+rep.IndexEntryBytes)
+	for p := firstPage; p <= lastPage; p++ {
+		miss, _ := db.cache.Touch(tableName, p, true)
+		if miss {
+			rep.CacheMisses++
+		}
+	}
+	if _, scanned, flushed := db.cache.MaybeFlushDirty(db.cfg.DirtyFlushPages); flushed {
+		rep.CacheScanPages += scanned
+	}
+	db.counters.rowsInserted.Add(int64(inserted))
+	db.counters.indexSplits.Add(int64(rep.IndexSplits))
+	return res, err
+}
+
+// buildRowsBatch resolves the column list once and coerces every row of the
+// batch onto full schema-ordered rows.  The returned rows are carved out of
+// one arena allocation, since the heap retains them for the life of the
+// table; a per-row allocation here would put the n mallocs the batch path
+// exists to amortize right back.  On error the returned prefix holds the
+// rows built before the failure (its length is the failing index).
+func (t *Table) buildRowsBatch(sc *scratch, columns []string, rows [][]Value) ([]Row, error) {
+	ncols := len(t.schema.Columns)
+	colIdxs := make([]int, len(columns))
+	kinds := make([]ValueKind, len(columns))
+	for i, col := range columns {
+		idx := t.schema.ColumnIndex(col)
+		if idx < 0 {
+			// The per-row path fails every row on an unknown column, so the
+			// batch fails at row 0 with nothing applied.
+			return nil, &ConstraintError{Kind: KindArity, Table: t.schema.Name, Column: col,
+				Detail: "unknown column"}
+		}
+		colIdxs[i] = idx
+		kinds[i] = canonicalKind(t.schema.Columns[idx].Type)
+	}
+	built := sc.batchRows(len(rows))
+	arena := make([]Value, len(rows)*ncols)
+	for _, vals := range rows {
+		if len(vals) != len(columns) {
+			return built, &ConstraintError{Kind: KindArity, Table: t.schema.Name,
+				Detail: fmt.Sprintf("%d columns but %d values", len(columns), len(vals))}
+		}
+		row := Row(arena[:ncols:ncols])
+		arena = arena[ncols:]
+		for i, idx := range colIdxs {
+			// Column kinds are resolved once per batch, so the common case —
+			// the transformer emits exact types — is a tag compare instead of
+			// a Coerce call per value.
+			if v := vals[i]; v.Kind == kinds[i] {
+				row[idx] = v
+				continue
+			}
+			v, err := Coerce(vals[i], t.schema.Columns[idx].Type)
+			if err != nil {
+				return built, &ConstraintError{Kind: KindType, Table: t.schema.Name,
+					Column: columns[i], Detail: err.Error()}
+			}
+			row[idx] = v
+		}
+		built = append(built, row)
+	}
+	return built, nil
+}
+
+// canonicalKind returns the value kind Coerce normalizes column type t to.
+func canonicalKind(t ColType) ValueKind {
+	switch t {
+	case TypeInt:
+		return KindInt
+	case TypeFloat:
+		return KindFloat
+	case TypeString:
+		return KindString
+	case TypeTime:
+		return KindTime
+	case TypeBool:
+		return KindBool
+	default:
+		return KindNull
+	}
+}
+
+// insertBatchLocked validates and stores the built rows under a single
+// write-lock hold, deferring secondary-index maintenance to one sorted bulk
+// pass per index over the applied prefix.  It returns the number of rows
+// applied and the first constraint violation (nil when every row applied).
+//
+// Locking: the table's own write lock and a read lock on every distinct
+// foreign-key parent are taken once for the whole batch (a self-referential
+// parent reuses the held write lock, and thereby sees parent rows stored
+// earlier in this same batch, exactly as the per-row loop would).  Parent
+// locks nest inside child locks along foreign-key edges only, and the FK
+// graph is acyclic, so the nested acquisition cannot deadlock.
+func (t *Table) insertBatchLocked(db *DB, txn *Txn, built []Row, rep *OpReport) (inserted, firstPage, lastPage int, err error) {
+	sc := txn.sc
+
+	// Intern the primary-key and unique-constraint encodings of the whole
+	// batch into one string before locking anything: the row loop probes and
+	// stores substrings of it, so the n pk-string and n×uniques allocations
+	// of the per-row path collapse into one.
+	blob, offs := t.encodeBatchKeys(sc, built)
+	stride := 1 + len(t.uniqueCols)
+	encAt := func(idx int) string {
+		start := 0
+		if idx > 0 {
+			start = offs[idx-1]
+		}
+		return blob[start:offs[idx]]
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parents := t.lockParentsForBatch(db, sc)
+	defer runlockAll(parents)
+
+	ids := sc.batchIDs(len(built))
+	var firstErr error
+	firstPage, lastPage = -1, -1
+	for ri, row := range built {
+		if err := db.checkForeignKeys(sc, t, row, rep, nil, true); err != nil {
+			firstErr = err
+			break
+		}
+		checks, err := t.checkRow(row)
+		rep.ConstraintChecks += checks
+		if err != nil {
+			firstErr = err
+			break
+		}
+
+		rep.ConstraintChecks++
+		nullPK := false
+		for _, c := range t.pkCols {
+			if row[c].IsNull() {
+				nullPK = true
+				break
+			}
+		}
+		if nullPK {
+			firstErr = &ConstraintError{Kind: KindNotNull, Table: t.schema.Name,
+				Column: t.schema.PrimaryKey[0], Detail: "NULL in primary key"}
+			break
+		}
+		pkEnc := encAt(ri * stride)
+		if _, dup := t.pkIndex[pkEnc]; dup {
+			firstErr = &ConstraintError{Kind: KindPrimaryKey, Table: t.schema.Name,
+				Constraint: "pk_" + t.schema.Name, Detail: "duplicate key " + pkEnc}
+			break
+		}
+
+		for i := range t.uniqueCols {
+			rep.ConstraintChecks++
+			uEnc := encAt(ri*stride + 1 + i)
+			if _, dup := t.uniqueMaps[i][uEnc]; dup {
+				firstErr = &ConstraintError{Kind: KindUnique, Table: t.schema.Name,
+					Constraint: t.uniqueNames[i], Detail: "duplicate key " + uEnc}
+				break
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+
+		// All constraints satisfied: store the row.  Index maintenance is
+		// deferred to the bulk pass below; the hash indexes must be updated
+		// here so later rows of this batch observe earlier ones (intra-batch
+		// duplicate detection and self-referential foreign keys).
+		id := t.nextRow
+		t.nextRow++
+		loc, newPage, rb := t.heap.append(row)
+		t.rows.append(loc)
+		t.pkIndex[pkEnc] = id
+		for i := range t.uniqueCols {
+			t.uniqueMaps[i][encAt(ri*stride+1+i)] = id
+		}
+
+		rep.RowsInserted++
+		rep.RowBytes += rb
+		rep.PagesDirtied++
+		if newPage {
+			rep.CacheMisses++ // a fresh block is always a cache miss
+		}
+		if len(ids) == 0 {
+			firstPage = loc.pageIdx
+		}
+		lastPage = loc.pageIdx
+		ids = append(ids, id)
+	}
+
+	// One undo record covers the whole contiguous id run of the batch.
+	if len(ids) > 0 {
+		txn.recordInsertRange(t.schema.Name, ids[0], int64(len(ids)))
+		rep.UndoRecords++
+	}
+
+	// Sorted bulk merge into every secondary index, covering exactly the
+	// applied prefix (rollback's deleteRow relies on index entries existing
+	// for every row in the undo log, so this runs even after a mid-batch
+	// failure).
+	for _, ix := range t.indexList {
+		t.bulkIndexInsert(sc, ix, built[:len(ids)], ids, rep)
+	}
+	return len(ids), firstPage, lastPage, firstErr
+}
+
+// bulkIndexInsert maintains one secondary index for a batch: it extracts the
+// batch's keys into the pooled scratch arena, sorts them (tie-broken by row
+// id, reproducing per-row insertion order under duplicates), and feeds them
+// to the leaf-aware sequential B-tree pass.  Catalog batches frequently
+// arrive already ordered on the indexed attribute (htmid and id columns grow
+// with arrival order), so a linear sortedness check pays for itself before
+// the n·log n sort.
+func (t *Table) bulkIndexInsert(sc *scratch, ix *Index, rows []Row, ids []int64, rep *OpReport) {
+	if len(rows) == 0 {
+		return
+	}
+	if ix.int64Keyed && t.bulkIndexInsertInt64(sc, ix, rows, ids, rep) {
+		return
+	}
+	k := len(ix.colIdxs)
+	sc.karena = sc.karena[:0]
+	sc.kvs = sc.kvs[:0]
+	sorted := true
+	for ri := range rows {
+		row := rows[ri]
+		start := len(sc.karena)
+		for _, c := range ix.colIdxs {
+			sc.karena = append(sc.karena, row[c])
+			rep.IndexEntryBytes += ValueSize(row[c])
+		}
+		rep.IndexEntryBytes += 8 // row id pointer
+		key := sc.karena[start : start+k : start+k]
+		if sorted && ri > 0 && CompareKeys(sc.kvs[ri-1].key, key) > 0 {
+			sorted = false
+		}
+		sc.kvs = append(sc.kvs, idxKV{key: key, id: ids[ri]})
+	}
+	if !sorted {
+		// Equal keys need no reordering: ids ascend with row order already.
+		if ix.firstColFloat {
+			slices.SortFunc(sc.kvs, cmpKVFloatFirst)
+		} else {
+			slices.SortFunc(sc.kvs, cmpKV)
+		}
+	}
+	st := ix.tree.insertSortedKVs(sc.kvs)
+	rep.IndexNodesVisited += st.NodesVisited
+	rep.IndexSplits += st.Splits
+	rep.IndexFloatColNodeVisits += st.NodesVisited * ix.floatCols
+	rep.IndexIntColNodeVisits += st.NodesVisited * ix.otherCols
+}
+
+// bulkIndexInsertInt64 is bulkIndexInsert for single-column integer-kinded
+// indexes with no NULL keys in the batch: the keys are extracted as raw
+// int64s, sorted with the specialized pair sort (no comparator calls), and
+// rebuilt from (kind, payload) as they stream into the tree.  It reports
+// false — having done nothing — when a NULL key means the generic path must
+// handle the batch.
+func (t *Table) bulkIndexInsertInt64(sc *scratch, ix *Index, rows []Row, ids []int64, rep *OpReport) bool {
+	c := ix.colIdxs[0]
+	if cap(sc.sortK) < len(rows) {
+		sc.sortK = make([]int64, 0, len(rows))
+		sc.sortID = make([]int64, 0, len(rows))
+	}
+	ks := sc.sortK[:0]
+	vs := sc.sortID[:0]
+	sorted := true
+	for ri := range rows {
+		v := rows[ri][c]
+		if v.Kind == KindNull {
+			return false
+		}
+		if sorted && ri > 0 && ks[ri-1] > v.I {
+			sorted = false
+		}
+		ks = append(ks, v.I)
+		vs = append(vs, ids[ri])
+	}
+	sc.sortK, sc.sortID = ks, vs
+	if !sorted {
+		// Equal keys need no reordering: ids ascend with row order already.
+		sortInt64Pairs(ks, vs)
+	}
+	// Entry volume is uniform for a payload-in-I kind.
+	rep.IndexEntryBytes += len(rows) * (ValueSize(Value{Kind: ix.keyKind}) + 8)
+
+	sc.karena = sc.karena[:0]
+	si := sortedInserter{t: ix.tree}
+	for i := range ks {
+		start := len(sc.karena)
+		sc.karena = append(sc.karena, Value{Kind: ix.keyKind, I: ks[i]})
+		si.insert(sc.karena[start:start+1:start+1], vs[i])
+	}
+	rep.IndexNodesVisited += si.st.NodesVisited
+	rep.IndexSplits += si.st.Splits
+	rep.IndexFloatColNodeVisits += si.st.NodesVisited * ix.floatCols
+	rep.IndexIntColNodeVisits += si.st.NodesVisited * ix.otherCols
+	return true
+}
+
+// encodeBatchKeys interns the primary-key and unique-constraint encodings of
+// every built row into a single string, returning it together with the flat
+// end-offset table ((1 + len(uniqueCols)) entries per row, in row order).
+// It reads only the immutable schema and the built rows, so it runs before
+// any lock is taken.
+func (t *Table) encodeBatchKeys(sc *scratch, built []Row) (string, []int) {
+	buf := sc.encBuf[:0]
+	offs := sc.encOffs[:0]
+	for _, row := range built {
+		buf = AppendKey(buf, sc.keyOf(row, t.pkCols))
+		offs = append(offs, len(buf))
+		for _, cols := range t.uniqueCols {
+			buf = AppendKey(buf, sc.keyOf(row, cols))
+			offs = append(offs, len(buf))
+		}
+	}
+	sc.encBuf = buf
+	sc.encOffs = offs
+	return string(buf), offs
+}
+
+// lockParentsForBatch read-locks every distinct foreign-key parent of the
+// table except the table itself (whose write lock the caller already holds)
+// and returns the locked set for runlockAll.  The slice is pooled on the
+// transaction scratch.
+func (t *Table) lockParentsForBatch(db *DB, sc *scratch) []*Table {
+	parents := sc.parents[:0]
+	for _, fk := range t.schema.ForeignKeys {
+		p := db.tables[fk.RefTable]
+		if p == nil || p == t {
+			continue
+		}
+		dup := false
+		for _, q := range parents {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			p.mu.RLock()
+			parents = append(parents, p)
+		}
+	}
+	sc.parents = parents[:0]
+	return parents
+}
+
+// runlockAll releases the read locks taken by lockParentsForBatch.
+func runlockAll(parents []*Table) {
+	for _, p := range parents {
+		p.mu.RUnlock()
+	}
+}

@@ -1,0 +1,464 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// perRowApply mirrors the sqlbatch server's per-row batch loop: rows are
+// applied in order until the first failure, which is reported with its index.
+// It is the semantic reference InsertBatch is tested against.
+func perRowApply(txn *Txn, table string, cols []string, rows [][]Value) (inserted, failedIdx int, err error) {
+	for i, r := range rows {
+		if _, e := txn.Insert(table, cols, r); e != nil {
+			return i, i, e
+		}
+	}
+	return len(rows), -1, nil
+}
+
+// engineState renders the full logical state of a database as a string:
+// every table's rows in heap order, every secondary index's (key, row ids)
+// pairs in key order, and the per-table epoch/pending counters.  Two
+// databases that loaded the same data through different physical paths must
+// render identically (B-tree *shape* may differ with insertion order; logical
+// content may not).
+func engineState(t *testing.T, db *DB) string {
+	t.Helper()
+	var b strings.Builder
+	for _, name := range db.Schema().TableNames() {
+		tbl := db.Table(name)
+		fmt.Fprintf(&b, "table %s rows=%d epoch=%d pending=%d\n",
+			name, tbl.RowCount(), tbl.CommitEpoch(), tbl.UncommittedRows())
+		if err := db.ScanRef(name, func(r Row) bool {
+			for _, v := range r {
+				b.WriteString(FormatValue(v))
+				b.WriteByte('|')
+			}
+			b.WriteByte('\n')
+			return true
+		}); err != nil {
+			t.Fatalf("ScanRef(%s): %v", name, err)
+		}
+		for _, ix := range tbl.Indexes() {
+			fmt.Fprintf(&b, "index %s len=%d\n", ix.Name, ix.Tree().Len())
+			ix.Tree().AscendRange(nil, nil, func(key []Value, ids []int64) bool {
+				b.WriteString(EncodeKey(key))
+				fmt.Fprintf(&b, " -> %v\n", ids)
+				return true
+			})
+		}
+	}
+	return b.String()
+}
+
+// statsFingerprint renders the engine counters that must match between the
+// per-row and batch paths.  Physical counters that legitimately differ are
+// excluded: LogBytes (group records are smaller by construction) and
+// IndexSplits (B-tree shape depends on insertion order).
+func statsFingerprint(db *DB) string {
+	st := db.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "ins=%d rej=%d txns=%d commits=%d rollbacks=%d pages=%d\n",
+		st.RowsInserted, st.RowsRejected, st.Transactions, st.Commits, st.Rollbacks, st.PagesAllocated)
+	for k := KindPrimaryKey; k <= KindUnknownTable; k++ {
+		if n := st.ConstraintViolations[k]; n != 0 {
+			fmt.Fprintf(&b, "viol[%s]=%d\n", k, n)
+		}
+	}
+	return b.String()
+}
+
+// batchPropertyDB builds the shared test schema with a float secondary index
+// on objects.mag (duplicate-heavy) and seeds a handful of frames rows for
+// foreign keys to point at.
+func batchPropertyDB(t *testing.T) *DB {
+	t.Helper()
+	db := MustNewDB(testSchema(t), Config{BTreeDegree: 3, CachePages: 64, DirtyFlushPages: 8})
+	// ix_mag exercises the float comparator, ix_frame the raw-int64 sort
+	// path (both duplicate-heavy), and the composite index the generic one.
+	if _, err := db.CreateIndex("objects", "ix_mag", []string{"mag"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("objects", "ix_frame", []string{"frame_id"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("objects", "ix_frame_mag", []string{"frame_id", "mag"}, false); err != nil {
+		t.Fatal(err)
+	}
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []string{"frame_id", "exposure"}
+	for f := int64(0); f < 8; f++ {
+		if _, err := txn.Insert("frames", cols, []Value{Int(f), Float(30)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// randomObjectBatch generates a batch of objects rows seeded with the failure
+// modes the loader sees in the wild: duplicate primary keys (against both
+// already-committed rows and earlier rows of the same batch), dangling
+// foreign keys, out-of-range check values, NULL primary keys and uncoercible
+// values.
+func randomObjectBatch(rng *rand.Rand, base int64, nextID *int64, size int) [][]Value {
+	rows := make([][]Value, 0, size)
+	for i := 0; i < size; i++ {
+		id := *nextID
+		*nextID++
+		frame := Int(rng.Int63n(8))
+		mag := Float(float64(rng.Intn(16))) // few distinct values -> duplicate index keys
+		row := []Value{Int(id), frame, mag}
+		switch rng.Intn(12) {
+		case 0: // duplicate PK: reuse an id handed out earlier this trial
+			// (it may sit in a committed row, earlier in this same batch, or
+			// in a row that was never applied — all three must agree with the
+			// per-row loop).
+			row[0] = Int(base + rng.Int63n(id-base+1))
+		case 1: // dangling FK
+			row[1] = Int(999 + rng.Int63n(10))
+		case 2: // check violation (mag outside [0,40])
+			row[2] = Float(41 + float64(rng.Intn(5)))
+		case 3: // NULL primary key
+			row[0] = Null
+		case 4: // uncoercible value (type failure during the build phase)
+			row[2] = Str("not-a-float")
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// TestInsertBatchMatchesPerRow is the batch-apply property test: for many
+// random batches containing duplicate-PK, FK-violating, check-violating,
+// NULL-PK and type-error rows, InsertBatch must produce exactly the table
+// state, FailedIndex, violation kind and epoch/pending counters of the
+// per-row reference loop — across mid-transaction checks, commits and
+// rollbacks.
+func TestInsertBatchMatchesPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(20051112))
+	cols := []string{"object_id", "frame_id", "mag"}
+
+	for trial := 0; trial < 60; trial++ {
+		ref := batchPropertyDB(t) // per-row reference
+		got := batchPropertyDB(t) // batch-apply path
+		base := int64(trial * 1000)
+		nextRef, nextGot := base, base
+
+		refTxn, err := ref.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTxn, err := got.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		batches := 1 + rng.Intn(4)
+		for bi := 0; bi < batches; bi++ {
+			size := 1 + rng.Intn(50)
+			seed := rng.Int63()
+			// Generate the identical batch for both engines.
+			rows := randomObjectBatch(rand.New(rand.NewSource(seed)), base, &nextRef, size)
+			rows2 := randomObjectBatch(rand.New(rand.NewSource(seed)), base, &nextGot, size)
+
+			refIns, refIdx, refErr := perRowApply(refTxn, "objects", cols, rows)
+			br, gotErr := gotTxn.InsertBatch("objects", cols, rows2)
+
+			if refIns != br.RowsInserted || refIdx != br.FailedIndex {
+				t.Fatalf("trial %d batch %d: per-row (ins=%d idx=%d) vs batch (ins=%d idx=%d)",
+					trial, bi, refIns, refIdx, br.RowsInserted, br.FailedIndex)
+			}
+			if (refErr == nil) != (gotErr == nil) {
+				t.Fatalf("trial %d batch %d: errors diverge: %v vs %v", trial, bi, refErr, gotErr)
+			}
+			if refErr != nil {
+				rk, _ := ViolationKind(refErr)
+				gk, _ := ViolationKind(gotErr)
+				if rk != gk {
+					t.Fatalf("trial %d batch %d: violation kinds diverge: %s vs %s (%v vs %v)",
+						trial, bi, rk, gk, refErr, gotErr)
+				}
+			}
+			// Mid-transaction: rows applied so far and pending counters agree.
+			if rs, gs := engineState(t, ref), engineState(t, got); rs != gs {
+				t.Fatalf("trial %d batch %d: mid-txn state diverges:\n--- per-row ---\n%s--- batch ---\n%s", trial, bi, rs, gs)
+			}
+		}
+
+		// Finish both the same way and compare the settled state.
+		if rng.Intn(3) == 0 {
+			if err := refTxn.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+			if err := gotTxn.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := refTxn.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := gotTxn.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rs, gs := engineState(t, ref), engineState(t, got); rs != gs {
+			t.Fatalf("trial %d: settled state diverges:\n--- per-row ---\n%s--- batch ---\n%s", trial, rs, gs)
+		}
+		if rs, gs := statsFingerprint(ref), statsFingerprint(got); rs != gs {
+			t.Fatalf("trial %d: stats diverge:\n--- per-row ---\n%s--- batch ---\n%s", trial, rs, gs)
+		}
+	}
+}
+
+// TestInsertBatchSelfReferentialFK checks the intra-batch foreign-key
+// semantics on a self-referential table: a child may reference a parent
+// stored earlier in the same batch (the per-row loop would have stored it
+// already), while a reference to a parent that only appears later in the
+// batch fails at exactly the referencing row.
+func TestInsertBatchSelfReferentialFK(t *testing.T) {
+	schema, err := NewSchema(&TableSchema{
+		Name: "nodes",
+		Columns: []Column{
+			{Name: "node_id", Type: TypeInt},
+			{Name: "parent_id", Type: TypeInt, Nullable: true},
+		},
+		PrimaryKey: []string{"node_id"},
+		ForeignKeys: []ForeignKey{
+			{Name: "fk_parent", Columns: []string{"parent_id"}, RefTable: "nodes", RefColumns: []string{"node_id"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []string{"node_id", "parent_id"}
+
+	// Forward references (parent earlier in the batch) succeed.
+	db := MustNewDB(schema, Config{})
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := txn.InsertBatch("nodes", cols, [][]Value{
+		{Int(1), Null},
+		{Int(2), Int(1)},
+		{Int(3), Int(2)},
+	})
+	if err != nil || br.RowsInserted != 3 || br.FailedIndex != -1 {
+		t.Fatalf("forward-reference batch: ins=%d idx=%d err=%v", br.RowsInserted, br.FailedIndex, err)
+	}
+
+	// A backward reference (parent later in the batch) fails at that row,
+	// leaving the prefix applied — same as the per-row loop.
+	br, err = txn.InsertBatch("nodes", cols, [][]Value{
+		{Int(10), Int(1)},
+		{Int(11), Int(12)}, // parent 12 arrives only at index 2
+		{Int(12), Null},
+	})
+	if err == nil || br.FailedIndex != 1 || br.RowsInserted != 1 {
+		t.Fatalf("backward-reference batch: ins=%d idx=%d err=%v", br.RowsInserted, br.FailedIndex, err)
+	}
+	if k, _ := ViolationKind(err); k != KindForeignKey {
+		t.Fatalf("violation kind = %s, want FOREIGN KEY", k)
+	}
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.Count("nodes"); n != 4 {
+		t.Fatalf("nodes rows = %d, want 4", n)
+	}
+}
+
+// TestInsertBatchEdgeCases covers the degenerate inputs: empty batches,
+// unknown tables, inactive transactions and arity mismatches.
+func TestInsertBatchEdgeCases(t *testing.T) {
+	db := batchPropertyDB(t)
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []string{"object_id", "frame_id", "mag"}
+
+	br, err := txn.InsertBatch("objects", cols, nil)
+	if err != nil || br.FailedIndex != -1 || br.RowsInserted != 0 {
+		t.Fatalf("empty batch: %+v err=%v", br, err)
+	}
+
+	br, err = txn.InsertBatch("missing", cols, [][]Value{{Int(1), Int(0), Float(1)}})
+	if err == nil || br.FailedIndex != 0 {
+		t.Fatalf("unknown table: %+v err=%v", br, err)
+	}
+	if k, _ := ViolationKind(err); k != KindUnknownTable {
+		t.Fatalf("violation kind = %s, want UNKNOWN TABLE", k)
+	}
+
+	// Unknown column: nothing applied, failure at row 0 (the per-row loop
+	// fails every row on its first attempt).
+	br, err = txn.InsertBatch("objects", []string{"object_id", "nope"}, [][]Value{{Int(1), Int(0)}})
+	if err == nil || br.FailedIndex != 0 || br.RowsInserted != 0 {
+		t.Fatalf("unknown column: %+v err=%v", br, err)
+	}
+
+	// Arity mismatch on row 1: row 0 applied, failure index exact.
+	br, err = txn.InsertBatch("objects", cols, [][]Value{
+		{Int(500000), Int(1), Float(10)},
+		{Int(500001), Int(1)},
+	})
+	if err == nil || br.FailedIndex != 1 || br.RowsInserted != 1 {
+		t.Fatalf("arity mismatch: %+v err=%v", br, err)
+	}
+
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if br, err = txn.InsertBatch("objects", cols, [][]Value{{Int(9), Int(0), Float(1)}}); err != ErrTxnNotActive {
+		t.Fatalf("inactive txn: %+v err=%v", br, err)
+	}
+}
+
+// TestInsertBatchNullIndexKeys covers the raw-int64 index sort fallback: a
+// nullable integer column index whose batch contains NULL keys must take the
+// generic path and store NULLs sorting before every non-NULL key, identically
+// to per-row insertion.
+func TestInsertBatchNullIndexKeys(t *testing.T) {
+	schema, err := NewSchema(&TableSchema{
+		Name: "pts",
+		Columns: []Column{
+			{Name: "id", Type: TypeInt},
+			{Name: "grade", Type: TypeInt, Nullable: true},
+		},
+		PrimaryKey: []string{"id"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := MustNewDB(schema, Config{BTreeDegree: 2})
+	got := MustNewDB(schema, Config{BTreeDegree: 2})
+	for _, db := range []*DB{ref, got} {
+		if _, err := db.CreateIndex("pts", "ix_grade", []string{"grade"}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cols := []string{"id", "grade"}
+	rows := make([][]Value, 40)
+	for i := range rows {
+		g := Value(Int(int64(i % 5)))
+		if i%7 == 0 {
+			g = Null
+		}
+		rows[i] = []Value{Int(int64(i)), g}
+	}
+	refTxn, _ := ref.Begin()
+	gotTxn, _ := got.Begin()
+	if ins, _, err := perRowApply(refTxn, "pts", cols, rows); err != nil || ins != len(rows) {
+		t.Fatalf("per-row: ins=%d err=%v", ins, err)
+	}
+	if br, err := gotTxn.InsertBatch("pts", cols, rows); err != nil || br.RowsInserted != len(rows) {
+		t.Fatalf("batch: %+v err=%v", br, err)
+	}
+	if _, err := refTxn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gotTxn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if rs, gs := engineState(t, ref), engineState(t, got); rs != gs {
+		t.Fatalf("state diverges with NULL index keys:\n--- per-row ---\n%s--- batch ---\n%s", rs, gs)
+	}
+}
+
+// TestSortInt64Pairs pins the specialized pair sort against the library sort
+// on random, sorted, reversed and duplicate-heavy inputs, including sizes
+// around the insertion-sort cutoff.
+func TestSortInt64Pairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(3000)
+		k := make([]int64, n)
+		id := make([]int64, n)
+		switch trial % 4 {
+		case 0:
+			for i := range k {
+				k[i] = rng.Int63n(10) // heavy duplicates exercise the id tie-break
+				id[i] = int64(rng.Intn(50))
+			}
+		case 1:
+			for i := range k {
+				k[i] = int64(i)
+				id[i] = int64(i)
+			}
+		case 2:
+			for i := range k {
+				k[i] = int64(n - i)
+				id[i] = int64(i)
+			}
+		default:
+			for i := range k {
+				k[i] = rng.Int63()
+				id[i] = rng.Int63()
+			}
+		}
+		type pair struct{ k, id int64 }
+		want := make([]pair, n)
+		for i := range want {
+			want[i] = pair{k[i], id[i]}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].k != want[j].k {
+				return want[i].k < want[j].k
+			}
+			return want[i].id < want[j].id
+		})
+		sortInt64Pairs(k, id)
+		for i := range want {
+			if k[i] != want[i].k || id[i] != want[i].id {
+				t.Fatalf("trial %d: position %d = (%d,%d), want (%d,%d)", trial, i, k[i], id[i], want[i].k, want[i].id)
+			}
+		}
+	}
+}
+
+// TestInsertBatchGroupWAL checks that a successful batch writes exactly one
+// group redo record covering all of its rows.
+func TestInsertBatchGroupWAL(t *testing.T) {
+	db := batchPropertyDB(t)
+	before := db.WAL().Stats()
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := []string{"object_id", "frame_id", "mag"}
+	rows := make([][]Value, 25)
+	for i := range rows {
+		rows[i] = []Value{Int(int64(1000 + i)), Int(0), Float(float64(i % 7))}
+	}
+	br, err := txn.InsertBatch("objects", cols, rows)
+	if err != nil || br.RowsInserted != len(rows) {
+		t.Fatalf("batch failed: %+v err=%v", br, err)
+	}
+	after := db.WAL().Stats()
+	if got := after.GroupRecords - before.GroupRecords; got != 1 {
+		t.Fatalf("group records written = %d, want 1", got)
+	}
+	if got := after.GroupedRows - before.GroupedRows; got != int64(len(rows)) {
+		t.Fatalf("grouped rows = %d, want %d", got, len(rows))
+	}
+	if got := after.Records - before.Records; got != 1 {
+		t.Fatalf("total records written = %d, want 1 (one group record, no per-row records)", got)
+	}
+	if br.Report.LogBytes != int(after.Bytes-before.Bytes) {
+		t.Fatalf("report LogBytes %d != WAL growth %d", br.Report.LogBytes, after.Bytes-before.Bytes)
+	}
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -156,6 +156,187 @@ func (n *btreeNode) find(key []Value) (int, bool) {
 	return lo, false
 }
 
+// InsertSorted adds the (keys[i], rowIDs[i]) pairs, which the caller
+// guarantees to be sorted ascending by (key, rowID), and returns the
+// aggregated insert statistics (NewKey is meaningless for a group insert and
+// left false).
+//
+// The pass is leaf-aware: each root-to-leaf descent remembers the leaf it
+// landed in and the tightest ancestor separator bounding that leaf from
+// above.  While subsequent keys stay below that separator and the leaf has
+// room, they are placed with a single node visit instead of a fresh descent —
+// for in-order key runs (the common case during a bulk load, where batch keys
+// are collected and sorted first) index maintenance degrades from
+// O(height) comparisons per row to amortized O(1) node visits per row.
+// Runs of equal keys short-circuit even earlier: the row id is appended to
+// the entry stored by the previous iteration without touching the leaf
+// search.  Keys that fall outside the cached window fall back to the normal
+// proactive-split descent, so the result is identical to calling Insert once
+// per pair (up to B-tree shape, which depends on insertion order).
+func (t *BTree) InsertSorted(keys [][]Value, rowIDs []int64) InsertStats {
+	si := sortedInserter{t: t}
+	for pos := range keys {
+		si.insert(keys[pos], rowIDs[pos])
+	}
+	return si.st
+}
+
+// insertSortedKVs is InsertSorted over the batch path's pooled kv pairs.
+func (t *BTree) insertSortedKVs(kvs []idxKV) InsertStats {
+	si := sortedInserter{t: t}
+	for i := range kvs {
+		si.insert(kvs[i].key, kvs[i].id)
+	}
+	return si.st
+}
+
+// sortedInserter carries the state of one InsertSorted pass: the cached leaf
+// window, the previously inserted entry for equal-key runs, and the per-batch
+// arenas that new entries' stored keys and row-id slices are carved from (one
+// allocation per arena chunk instead of two per new key).  Arena sub-slices
+// are full (len == cap), so a later append to an entry's rowIDs reallocates
+// instead of overwriting a neighbour.
+type sortedInserter struct {
+	t  *BTree
+	st InsertStats
+
+	leaf  *btreeNode // cached leaf of the previous descent (nil = no cache)
+	upper []Value    // exclusive ancestor bound on keys the leaf may accept (nil = +inf)
+	last  *btreeNode // node holding the previously inserted entry
+	lasti int
+
+	keyArena []Value
+	idArena  []int64
+}
+
+// cloneKey copies key into the arena and returns the stored copy.
+func (si *sortedInserter) cloneKey(key []Value) []Value {
+	if cap(si.keyArena)-len(si.keyArena) < len(key) {
+		n := 64 * len(key)
+		if n < 256 {
+			n = 256
+		}
+		si.keyArena = make([]Value, 0, n)
+	}
+	start := len(si.keyArena)
+	si.keyArena = append(si.keyArena, key...)
+	return si.keyArena[start:len(si.keyArena):len(si.keyArena)]
+}
+
+// idSlice returns a one-element row-id slice carved from the arena.
+func (si *sortedInserter) idSlice(id int64) []int64 {
+	if len(si.idArena) == cap(si.idArena) {
+		si.idArena = make([]int64, 0, 256)
+	}
+	si.idArena = append(si.idArena, id)
+	return si.idArena[len(si.idArena)-1 : len(si.idArena) : len(si.idArena)]
+}
+
+// insert places one (key, id) pair, which must not sort below the previous
+// pair of this pass.
+func (si *sortedInserter) insert(key []Value, id int64) {
+	// Equal-key run: append to the entry the previous iteration stored.
+	if si.last != nil && CompareKeys(key, si.last.entries[si.lasti].key) == 0 {
+		si.last.entries[si.lasti].rowIDs = append(si.last.entries[si.lasti].rowIDs, id)
+		si.st.NodesVisited++
+		return
+	}
+	// In-window key: place it in the cached leaf without a descent.  The
+	// strict < keeps keys equal to the ancestor separator on the descent
+	// path, where they find the separator entry itself.
+	if si.leaf != nil && len(si.leaf.entries) < 2*si.t.degree-1 && (si.upper == nil || CompareKeys(key, si.upper) < 0) {
+		leaf := si.leaf
+		var i int
+		var found bool
+		if si.last == leaf && si.lasti+1 < len(leaf.entries) {
+			// Sequential hint: a sorted stream's next key usually lands
+			// right after the previous position (key > entries[lasti] is
+			// guaranteed — an equal key took the run branch above).
+			if c := CompareKeys(key, leaf.entries[si.lasti+1].key); c < 0 {
+				i, found = si.lasti+1, false
+			} else if c == 0 {
+				i, found = si.lasti+1, true
+			} else {
+				i, found = leaf.find(key)
+			}
+		} else if si.last == leaf {
+			// Previous entry is the leaf's last: the new, larger key appends.
+			i, found = len(leaf.entries), false
+		} else {
+			i, found = leaf.find(key)
+		}
+		si.st.NodesVisited++
+		if found {
+			leaf.entries[i].rowIDs = append(leaf.entries[i].rowIDs, id)
+		} else {
+			leaf.entries = append(leaf.entries, btreeEntry{})
+			copy(leaf.entries[i+1:], leaf.entries[i:])
+			leaf.entries[i] = btreeEntry{key: si.cloneKey(key), rowIDs: si.idSlice(id)}
+			si.t.size++
+		}
+		si.last, si.lasti = leaf, i
+		return
+	}
+	si.descendInsert(key, id)
+}
+
+// descendInsert performs one proactive-split root-to-leaf insert of (key, id)
+// and refreshes the cached window: the leaf the entry landed in and its
+// tightest ancestor upper bound (no leaf window when the key matched an
+// internal-node entry), plus the entry itself for equal-key runs.
+func (si *sortedInserter) descendInsert(key []Value, id int64) {
+	t := si.t
+	if len(t.root.entries) == 2*t.degree-1 {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.nodes++
+		t.height++
+		t.splitChild(t.root, 0)
+		si.st.Splits++
+	}
+	n := t.root
+	var ub []Value
+	for {
+		si.st.NodesVisited++
+		i, found := n.find(key)
+		if found {
+			n.entries[i].rowIDs = append(n.entries[i].rowIDs, id)
+			if n.leaf() {
+				si.leaf, si.upper = n, ub
+			} else {
+				si.leaf, si.upper = nil, nil
+			}
+			si.last, si.lasti = n, i
+			return
+		}
+		if n.leaf() {
+			n.entries = append(n.entries, btreeEntry{})
+			copy(n.entries[i+1:], n.entries[i:])
+			n.entries[i] = btreeEntry{key: si.cloneKey(key), rowIDs: si.idSlice(id)}
+			t.size++
+			si.leaf, si.upper = n, ub
+			si.last, si.lasti = n, i
+			return
+		}
+		if len(n.children[i].entries) == 2*t.degree-1 {
+			t.splitChild(n, i)
+			si.st.Splits++
+			if c := CompareKeys(key, n.entries[i].key); c == 0 {
+				n.entries[i].rowIDs = append(n.entries[i].rowIDs, id)
+				si.leaf, si.upper = nil, nil
+				si.last, si.lasti = n, i
+				return
+			} else if c > 0 {
+				i++
+			}
+		}
+		if i < len(n.entries) {
+			ub = n.entries[i].key
+		}
+		n = n.children[i]
+	}
+}
+
 // Search returns the row ids stored under key (nil if absent) and the number
 // of nodes visited.
 func (t *BTree) Search(key []Value) ([]int64, int) {

@@ -1,0 +1,174 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// treeContent renders the logical content of a B-tree: every key in order
+// with its row ids.  Trees built by different insertion orders must agree on
+// content even when their node shapes differ.
+func treeContent(tr *BTree) string {
+	var b strings.Builder
+	tr.AscendRange(nil, nil, func(key []Value, ids []int64) bool {
+		b.WriteString(EncodeKey(key))
+		fmt.Fprintf(&b, " -> %v\n", ids)
+		return true
+	})
+	return b.String()
+}
+
+// sortKVs orders parallel key/id slices the way the batch path does before
+// calling InsertSorted: by key, tie-broken by row id.
+func sortKVs(keys [][]Value, ids []int64) {
+	kvs := make([]idxKV, len(keys))
+	for i := range keys {
+		kvs[i] = idxKV{key: keys[i], id: ids[i]}
+	}
+	slices.SortFunc(kvs, cmpKV)
+	for i := range kvs {
+		keys[i], ids[i] = kvs[i].key, kvs[i].id
+	}
+}
+
+// TestBTreeInsertSortedEquivalence inserts the same random pairs three ways —
+// per-pair in generation order, per-pair in sorted order, and batched through
+// InsertSorted — and requires identical logical content, identical Len and
+// intact invariants from each.  Small degrees force frequent splits so the
+// cached-leaf window is invalidated often.
+func TestBTreeInsertSortedEquivalence(t *testing.T) {
+	for _, degree := range []int{2, 3, 8} {
+		for trial := 0; trial < 30; trial++ {
+			rng := rand.New(rand.NewSource(int64(1000*degree + trial)))
+			n := 1 + rng.Intn(400)
+			keys := make([][]Value, n)
+			ids := make([]int64, n)
+			for i := range keys {
+				// Narrow domains so duplicate keys (multi-id entries) are common.
+				keys[i] = []Value{Int(rng.Int63n(60)), Float(float64(rng.Intn(8)))}
+				ids[i] = int64(i)
+			}
+
+			perPair := NewBTree(degree)
+			for i := range keys {
+				perPair.Insert(keys[i], ids[i])
+			}
+
+			sortedKeys := append([][]Value(nil), keys...)
+			sortedIDs := append([]int64(nil), ids...)
+			sortKVs(sortedKeys, sortedIDs)
+
+			perPairSorted := NewBTree(degree)
+			for i := range sortedKeys {
+				perPairSorted.Insert(sortedKeys[i], sortedIDs[i])
+			}
+
+			batched := NewBTree(degree)
+			// Feed the sorted stream in several chunks to exercise re-entry
+			// with a cold cache against a part-built tree.
+			for start := 0; start < n; {
+				end := start + 1 + rng.Intn(n-start)
+				batched.InsertSorted(sortedKeys[start:end], sortedIDs[start:end])
+				start = end
+			}
+
+			for name, tr := range map[string]*BTree{"perPairSorted": perPairSorted, "batched": batched} {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("degree %d trial %d: %s invariants: %v", degree, trial, name, err)
+				}
+				if tr.Len() != perPair.Len() {
+					t.Fatalf("degree %d trial %d: %s Len = %d, want %d", degree, trial, name, tr.Len(), perPair.Len())
+				}
+				if got, want := treeContent(tr), treeContent(perPair); got != want {
+					t.Fatalf("degree %d trial %d: %s content diverges:\n--- got ---\n%s--- want ---\n%s",
+						degree, trial, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBTreeInsertSortedIntoGrownTree batches sorted runs into a tree that
+// already holds a large random population, so batch keys constantly cross
+// existing separators and the descent fallback runs often.
+func TestBTreeInsertSortedIntoGrownTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := NewBTree(3)
+	tr := NewBTree(3)
+	var nextID int64
+	for i := 0; i < 3000; i++ {
+		k := []Value{Int(rng.Int63n(5000))}
+		ref.Insert(k, nextID)
+		tr.Insert(k, nextID)
+		nextID++
+	}
+	for batch := 0; batch < 40; batch++ {
+		n := 1 + rng.Intn(200)
+		keys := make([][]Value, n)
+		ids := make([]int64, n)
+		for i := range keys {
+			keys[i] = []Value{Int(rng.Int63n(5000))}
+			ids[i] = nextID
+			nextID++
+		}
+		sortKVs(keys, ids)
+		for i := range keys {
+			ref.Insert(keys[i], ids[i])
+		}
+		tr.InsertSorted(keys, ids)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("batch %d: invariants: %v", batch, err)
+		}
+	}
+	if got, want := treeContent(tr), treeContent(ref); got != want {
+		t.Fatalf("content diverges after mixed batches:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestBTreeInsertSortedSeparatorKeys forces the ancestor-separator edge of
+// the cached-leaf window: after sequential inserts promote separators into
+// internal nodes, a sorted batch containing exactly those separator keys must
+// append to the internal-node entries, not duplicate them in leaves.
+func TestBTreeInsertSortedSeparatorKeys(t *testing.T) {
+	tr := NewBTree(2) // degree 2 promotes separators constantly
+	ref := NewBTree(2)
+	for i := 0; i < 64; i++ {
+		k := []Value{Int(int64(i))}
+		tr.Insert(k, int64(i))
+		ref.Insert(k, int64(i))
+	}
+	// Every existing key again, in order, plus fresh keys interleaved.
+	var keys [][]Value
+	var ids []int64
+	var nextID int64 = 1000
+	for i := 0; i < 64; i++ {
+		keys = append(keys, []Value{Int(int64(i))})
+		ids = append(ids, nextID)
+		nextID++
+		if i%4 == 0 {
+			keys = append(keys, []Value{Int(int64(i*1000 + 500))})
+			ids = append(ids, nextID)
+			nextID++
+		}
+	}
+	sortKVs(keys, ids)
+	for i := range keys {
+		ref.Insert(keys[i], ids[i])
+	}
+	st := tr.InsertSorted(keys, ids)
+	if st.NodesVisited <= 0 {
+		t.Fatal("InsertSorted reported no node visits")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if got, want := treeContent(tr), treeContent(ref); got != want {
+		t.Fatalf("content diverges:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if tr.Len() != ref.Len() {
+		t.Fatalf("Len = %d, want %d", tr.Len(), ref.Len())
+	}
+}

@@ -156,7 +156,7 @@ func TestHeapStorePaging(t *testing.T) {
 	big[0] = Str(string(make([]byte, 1000)))
 	var newPages int
 	for i := 0; i < 30; i++ {
-		_, fresh := h.append(big.Clone())
+		_, fresh, _ := h.append(big.Clone())
 		if fresh {
 			newPages++
 		}

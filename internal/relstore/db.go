@@ -191,19 +191,24 @@ func (db *DB) RowCounts() map[string]int64 {
 
 // checkForeignKeys verifies every foreign key of the row; NULL components are
 // treated as satisfied (SQL MATCH SIMPLE semantics).  Each parent probe takes
-// the parent table's read lock for just the hash lookup — except a parent
-// equal to heldLock, whose mutex the caller already holds (VerifyIntegrity
-// scanning a self-referential table; re-acquiring it could deadlock behind a
-// queued writer).  Like the production system's deferred constraint checking,
-// a parent row rolled back between the probe and the child's commit is caught
-// by VerifyIntegrity, not here.
-func (db *DB) checkForeignKeys(sc *scratch, ts *TableSchema, row Row, rep *OpReport, heldLock *Table) error {
-	for _, fk := range ts.ForeignKeys {
+// the parent table's read lock for just the hash lookup, with two exceptions:
+// a parent equal to heldLock, whose mutex the caller already holds
+// (VerifyIntegrity scanning a self-referential table; re-acquiring it could
+// deadlock behind a queued writer), and allLocked callers (the batch-apply
+// path, which read-locked every distinct parent once via lockParentsForBatch
+// and holds the child's own write lock), whose probes are pure hash lookups.
+// Like the production system's deferred constraint checking, a parent row
+// rolled back between the probe and the child's commit is caught by
+// VerifyIntegrity, not here.
+func (db *DB) checkForeignKeys(sc *scratch, t *Table, row Row, rep *OpReport, heldLock *Table, allLocked bool) error {
+	ts := t.schema
+	for fi := range ts.ForeignKeys {
+		fk := &ts.ForeignKeys[fi]
 		rep.ConstraintChecks++
 		key := sc.fkKey(len(fk.Columns))
 		null := false
-		for i, c := range fk.Columns {
-			v := row[ts.ColumnIndex(c)]
+		for i, c := range t.fkColIdxs[fi] {
+			v := row[c]
 			if v.IsNull() {
 				null = true
 				break
@@ -217,11 +222,12 @@ func (db *DB) checkForeignKeys(sc *scratch, ts *TableSchema, row Row, rep *OpRep
 		rep.FKLookups++
 		found := false
 		if parent != nil {
-			if parent != heldLock {
+			lock := !allLocked && parent != heldLock
+			if lock {
 				parent.mu.RLock()
 			}
 			found = parent.lookupPK(sc, key)
-			if parent != heldLock {
+			if lock {
 				parent.mu.RUnlock()
 			}
 		}
@@ -249,7 +255,7 @@ func (db *DB) insert(txn *Txn, tableName string, columns []string, values []Valu
 		db.recordViolation(err)
 		return rep, err
 	}
-	if err := db.checkForeignKeys(sc, t.schema, row, &rep, nil); err != nil {
+	if err := db.checkForeignKeys(sc, t, row, &rep, nil, false); err != nil {
 		db.recordViolation(err)
 		return rep, err
 	}

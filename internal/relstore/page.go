@@ -33,13 +33,20 @@ func newHeapStore() *heapStore {
 	return &heapStore{}
 }
 
-// append places a row in the heap and returns its location plus whether a new
-// page was allocated.
-func (h *heapStore) append(r Row) (rowLoc, bool) {
+// append places a row in the heap and returns its location, whether a new
+// page was allocated, and the row's byte size (so callers accounting RowBytes
+// do not recompute it).
+func (h *heapStore) append(r Row) (rowLoc, bool, int) {
 	rb := RowSize(r)
 	newPage := false
 	if len(h.pages) == 0 || !h.pages[len(h.pages)-1].fits(rb) {
-		h.pages = append(h.pages, &page{id: len(h.pages)})
+		// Pre-size the slot directory to the page's expected fill so the
+		// per-row appends inside a page never regrow it.
+		slots := 4
+		if rb > 0 && rb < pageSizeBytes {
+			slots = pageSizeBytes/rb + 1
+		}
+		h.pages = append(h.pages, &page{id: len(h.pages), rows: make([]Row, 0, slots)})
 		newPage = true
 	}
 	p := h.pages[len(h.pages)-1]
@@ -48,7 +55,7 @@ func (h *heapStore) append(r Row) (rowLoc, bool) {
 	p.dirty = true
 	h.rowCount++
 	h.bytes += int64(rb)
-	return rowLoc{pageIdx: len(h.pages) - 1, slot: len(p.rows) - 1}, newPage
+	return rowLoc{pageIdx: len(h.pages) - 1, slot: len(p.rows) - 1}, newPage, rb
 }
 
 // get returns the row stored at loc; deleted rows are nil.

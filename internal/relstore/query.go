@@ -254,7 +254,7 @@ func (db *DB) VerifyIntegrity() (orphans int64, err error) {
 		t.mu.RLock()
 		t.heap.scan(func(_ int64, r Row) bool {
 			var rep OpReport
-			if e := db.checkForeignKeys(&sc, ts, r, &rep, t); e != nil {
+			if e := db.checkForeignKeys(&sc, t, r, &rep, t, false); e != nil {
 				orphans++
 			}
 			return true

@@ -18,6 +18,86 @@ type scratch struct {
 	enc  []byte
 	uniq []string
 	fk   []Value
+
+	// Batch-apply buffers (Txn.InsertBatch).  rows stages the built rows of a
+	// batch and ids the row ids assigned to the applied prefix; kvs collects
+	// one secondary index's (key, row id) pairs for the sorted bulk merge,
+	// with karena as the flat Value arena the kv key slices point into, so a
+	// batch costs O(1) scratch allocations per index rather than O(rows).
+	// All are reset per batch (per index for the sort buffers); nothing stored
+	// in the engine aliases them — heap rows come from a dedicated per-batch
+	// arena and the B-tree clones stored keys.
+	rows   []Row
+	ids    []int64
+	kvs    []idxKV
+	karena []Value
+	sortK  []int64
+	sortID []int64
+
+	// encBuf/encOffs back the per-batch interning of primary-key and
+	// unique-constraint encodings (Table.encodeBatchKeys); parents is the
+	// per-batch foreign-key parent lock set (Table.lockParentsForBatch).
+	encBuf  []byte
+	encOffs []int
+	parents []*Table
+}
+
+// idxKV pairs one secondary-index key with the row id it points at for the
+// per-batch sort.  Keys sort ascending, tie-broken by row id: ids are
+// assigned in row order, so the tie-break reproduces the row-id order the
+// per-row insert path produces under duplicate keys without needing a stable
+// sort.
+type idxKV struct {
+	key []Value
+	id  int64
+}
+
+// cmpKV is the general idxKV comparator.
+func cmpKV(a, b idxKV) int {
+	if c := CompareKeys(a.key, b.key); c != 0 {
+		return c
+	}
+	switch {
+	case a.id < b.id:
+		return -1
+	case a.id > b.id:
+		return 1
+	}
+	return 0
+}
+
+// cmpKVFloatFirst orders keys whose leading column is a float (the composite
+// (ra, dec, mag) index shape) by resolving the common case — distinct first
+// floats — without entering the CompareKeys loop.  Ties (including NaN
+// pairs, which CompareValues orders as equal) fall back to the general
+// comparator so the order always agrees with CompareKeys.
+func cmpKVFloatFirst(a, b idxKV) int {
+	av, bv := a.key[0], b.key[0]
+	if av.Kind == KindFloat && bv.Kind == KindFloat {
+		if av.F < bv.F {
+			return -1
+		}
+		if av.F > bv.F {
+			return 1
+		}
+	}
+	return cmpKV(a, b)
+}
+
+// batchRows returns an empty row-staging buffer with capacity for n rows.
+func (sc *scratch) batchRows(n int) []Row {
+	if cap(sc.rows) < n {
+		sc.rows = make([]Row, 0, n)
+	}
+	return sc.rows[:0]
+}
+
+// batchIDs returns an empty row-id buffer with capacity for n ids.
+func (sc *scratch) batchIDs(n int) []int64 {
+	if cap(sc.ids) < n {
+		sc.ids = make([]int64, 0, n)
+	}
+	return sc.ids[:0]
 }
 
 // keyOf fills the key buffer with the key columns of row.

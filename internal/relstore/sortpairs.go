@@ -1,0 +1,124 @@
+package relstore
+
+import "math/bits"
+
+// sortInt64Pairs sorts the parallel slices (k, id) ascending by key,
+// tie-broken by id.  It is the sort kernel of the batch path's single-column
+// integer indexes (the htmid index every production load maintains): raw
+// int64 comparisons beat a generic comparator by enough that the per-batch
+// sort stops showing up next to the B-tree work it feeds.  Introsort shape:
+// quicksort with median-of-three pivots, insertion sort below 12 elements,
+// heapsort beyond the depth limit so adversarial inputs stay O(n log n).
+func sortInt64Pairs(k, id []int64) {
+	if len(k) < 2 {
+		return
+	}
+	quickPairs(k, id, 0, len(k)-1, 2*bits.Len(uint(len(k))))
+}
+
+func pairLess(k, id []int64, i, j int) bool {
+	return k[i] < k[j] || (k[i] == k[j] && id[i] < id[j])
+}
+
+func pairSwap(k, id []int64, i, j int) {
+	k[i], k[j] = k[j], k[i]
+	id[i], id[j] = id[j], id[i]
+}
+
+func quickPairs(k, id []int64, lo, hi, depth int) {
+	for hi-lo > 11 {
+		if depth == 0 {
+			heapPairs(k, id, lo, hi)
+			return
+		}
+		depth--
+		p := partitionPairs(k, id, lo, hi)
+		// Recurse into the smaller half, loop on the larger: O(log n) stack.
+		if p-lo < hi-p {
+			quickPairs(k, id, lo, p-1, depth)
+			lo = p + 1
+		} else {
+			quickPairs(k, id, p+1, hi, depth)
+			hi = p - 1
+		}
+	}
+	insertionPairs(k, id, lo, hi)
+}
+
+// partitionPairs Hoare-style partitions [lo, hi] around a median-of-three
+// pivot moved to lo, returning the pivot's final position.
+func partitionPairs(k, id []int64, lo, hi int) int {
+	mid := int(uint(lo+hi) >> 1)
+	if pairLess(k, id, mid, lo) {
+		pairSwap(k, id, mid, lo)
+	}
+	if pairLess(k, id, hi, mid) {
+		pairSwap(k, id, hi, mid)
+		if pairLess(k, id, mid, lo) {
+			pairSwap(k, id, mid, lo)
+		}
+	}
+	pairSwap(k, id, lo, mid)
+	pk, pid := k[lo], id[lo]
+	i, j := lo, hi+1
+	for {
+		for {
+			i++
+			if i > hi || !(k[i] < pk || (k[i] == pk && id[i] < pid)) {
+				break
+			}
+		}
+		for {
+			j--
+			if !(pk < k[j] || (pk == k[j] && pid < id[j])) {
+				break
+			}
+		}
+		if i >= j {
+			break
+		}
+		pairSwap(k, id, i, j)
+	}
+	pairSwap(k, id, lo, j)
+	return j
+}
+
+func insertionPairs(k, id []int64, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		kk, ii := k[i], id[i]
+		j := i - 1
+		for j >= lo && (kk < k[j] || (kk == k[j] && ii < id[j])) {
+			k[j+1], id[j+1] = k[j], id[j]
+			j--
+		}
+		k[j+1], id[j+1] = kk, ii
+	}
+}
+
+func heapPairs(k, id []int64, lo, hi int) {
+	n := hi - lo + 1
+	for root := n/2 - 1; root >= 0; root-- {
+		siftPairs(k, id, lo, root, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		pairSwap(k, id, lo, lo+end)
+		siftPairs(k, id, lo, 0, end)
+	}
+}
+
+func siftPairs(k, id []int64, lo, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && pairLess(k, id, lo+child, lo+child+1) {
+			child++
+		}
+		if !pairLess(k, id, lo+root, lo+child) {
+			return
+		}
+		pairSwap(k, id, lo+root, lo+child)
+		root = child
+	}
+}

@@ -22,10 +22,51 @@ type Index struct {
 	// every inserted row.
 	floatCols int
 	otherCols int
+	// int64Keyed marks a single-column index whose non-NULL comparisons
+	// reduce to the Value.I payload (integer, timestamp or boolean column) —
+	// the htmid index shape — so the batch path can sort raw int64 pairs
+	// instead of calling a comparator; keyKind is the column's value kind for
+	// rebuilding the keys after that sort.  firstColFloat marks an index
+	// whose leading column is a float (the composite (ra, dec, mag) shape),
+	// which gets a leading-column fast-path comparator.
+	int64Keyed    bool
+	keyKind       ValueKind
+	firstColFloat bool
 }
 
 // Tree exposes the underlying B-tree (read-only use by tests and queries).
 func (ix *Index) Tree() *BTree { return ix.tree }
+
+// rowDir maps row ids to heap locations.  Ids are allocated densely
+// (t.nextRow++, one append per insert), so a slice indexed by id replaces the
+// hash map the directory used to be: the insert paths append instead of
+// hashing, and only rollback punches holes (pageIdx -1 tombstones).
+type rowDir struct {
+	locs []rowLoc
+	live int
+}
+
+// append records the location of the next row id in sequence.
+func (d *rowDir) append(loc rowLoc) {
+	d.locs = append(d.locs, loc)
+	d.live++
+}
+
+// get returns the location of a live row id.
+func (d *rowDir) get(id int64) (rowLoc, bool) {
+	if id < 0 || id >= int64(len(d.locs)) || d.locs[id].pageIdx < 0 {
+		return rowLoc{}, false
+	}
+	return d.locs[id], true
+}
+
+// remove tombstones a row id (transaction rollback only).
+func (d *rowDir) remove(id int64) {
+	if id >= 0 && id < int64(len(d.locs)) && d.locs[id].pageIdx >= 0 {
+		d.locs[id] = rowLoc{pageIdx: -1}
+		d.live--
+	}
+}
 
 // Table is the runtime state of one table: schema, heap storage, primary-key
 // hash index, unique-constraint hash indexes and secondary B-tree indexes.
@@ -42,11 +83,16 @@ type Table struct {
 	mu sync.RWMutex
 
 	heap    *heapStore
-	rows    map[int64]rowLoc
+	rows    rowDir
 	nextRow int64
 
 	pkCols  []int
 	pkIndex map[string]int64
+
+	// fkColIdxs[i] holds the resolved column positions of schema.ForeignKeys[i],
+	// so per-row FK probes index the row directly instead of re-resolving
+	// column names through the schema map.
+	fkColIdxs [][]int
 
 	uniqueCols  [][]int
 	uniqueMaps  []map[string]int64
@@ -84,7 +130,6 @@ func newTable(schema *TableSchema, btreeDegree int) (*Table, error) {
 	t := &Table{
 		schema:      schema,
 		heap:        newHeapStore(),
-		rows:        make(map[int64]rowLoc),
 		pkIndex:     make(map[string]int64),
 		indexes:     make(map[string]*Index),
 		indexList:   []*Index{},
@@ -96,6 +141,17 @@ func newTable(schema *TableSchema, btreeDegree int) (*Table, error) {
 			return nil, fmt.Errorf("relstore: table %q: primary key column %q missing", schema.Name, c)
 		}
 		t.pkCols = append(t.pkCols, idx)
+	}
+	for _, fk := range schema.ForeignKeys {
+		cols := make([]int, len(fk.Columns))
+		for i, c := range fk.Columns {
+			idx := schema.ColumnIndex(c)
+			if idx < 0 {
+				return nil, fmt.Errorf("relstore: table %q: foreign key column %q missing", schema.Name, c)
+			}
+			cols[i] = idx
+		}
+		t.fkColIdxs = append(t.fkColIdxs, cols)
 	}
 	for _, u := range schema.Uniques {
 		var cols []int
@@ -308,15 +364,15 @@ func (t *Table) insertPrepared(sc *scratch, row Row) (int64, rowLoc, OpReport, e
 	// All constraints satisfied: store the row.
 	id := t.nextRow
 	t.nextRow++
-	loc, newPage := t.heap.append(row)
-	t.rows[id] = loc
+	loc, newPage, rb := t.heap.append(row)
+	t.rows.append(loc)
 	t.pkIndex[pkEnc] = id
 	for i, enc := range uniqueEncs {
 		t.uniqueMaps[i][enc] = id
 	}
 
 	rep.RowsInserted = 1
-	rep.RowBytes = RowSize(row)
+	rep.RowBytes = rb
 	rep.PagesDirtied = 1
 	if newPage {
 		rep.CacheMisses++ // a fresh block is always a cache miss
@@ -341,7 +397,7 @@ func (t *Table) insertPrepared(sc *scratch, row Row) (int64, rowLoc, OpReport, e
 func (t *Table) deleteRow(sc *scratch, id int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	loc, ok := t.rows[id]
+	loc, ok := t.rows.get(id)
 	if !ok {
 		return
 	}
@@ -357,7 +413,7 @@ func (t *Table) deleteRow(sc *scratch, id int64) {
 		ix.tree.Delete(sc.keyOf(row, ix.colIdxs), id)
 	}
 	t.heap.markDeleted(loc)
-	delete(t.rows, id)
+	t.rows.remove(id)
 }
 
 // lookupPK returns whether a row with the given primary-key values exists.
@@ -390,7 +446,7 @@ func (t *Table) getRow(id int64) Row {
 // nil.  The caller must hold t.mu and must not mutate the result or retain it
 // past the lock.
 func (t *Table) getRowLocked(id int64) Row {
-	loc, ok := t.rows[id]
+	loc, ok := t.rows.get(id)
 	if !ok {
 		return nil
 	}
@@ -419,14 +475,26 @@ func (t *Table) createIndex(name string, columns []string, unique bool) (*Index,
 			ix.otherCols++
 		}
 	}
+	switch t.schema.Columns[ix.colIdxs[0]].Type {
+	case TypeInt:
+		ix.int64Keyed, ix.keyKind = len(ix.colIdxs) == 1, KindInt
+	case TypeTime:
+		ix.int64Keyed, ix.keyKind = len(ix.colIdxs) == 1, KindTime
+	case TypeBool:
+		ix.int64Keyed, ix.keyKind = len(ix.colIdxs) == 1, KindBool
+	case TypeFloat:
+		ix.firstColFloat = true
+	}
 	// Backfill in one heap pass.  Heap scan positions do not match table row
-	// ids when rollbacks occurred, so invert the rows map once instead of
-	// re-deriving each id through a primary-key encoding.
+	// ids when rollbacks occurred, so invert the row directory once instead
+	// of re-deriving each id through a primary-key encoding.
 	if t.heap.rowCount > 0 {
 		var sc scratch
-		idByLoc := make(map[rowLoc]int64, len(t.rows))
-		for id, loc := range t.rows {
-			idByLoc[loc] = id
+		idByLoc := make(map[rowLoc]int64, t.rows.live)
+		for id, loc := range t.rows.locs {
+			if loc.pageIdx >= 0 {
+				idByLoc[loc] = int64(id)
+			}
 		}
 		t.heap.scanLoc(func(loc rowLoc, r Row) bool {
 			ix.tree.Insert(sc.keyOf(r, ix.colIdxs), idByLoc[loc])

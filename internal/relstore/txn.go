@@ -24,9 +24,14 @@ type Txn struct {
 	batches      int
 }
 
+// undoRecord covers a contiguous run of n row ids inserted into one table.
+// The per-row path appends n == 1 records; the batch path appends one record
+// for the whole batch (ids are allocated contiguously under the table lock),
+// so the undo log grows per batch, not per row.
 type undoRecord struct {
 	table string
-	rowID int64
+	rowID int64 // first id of the run
+	n     int64
 }
 
 // Begin starts a new transaction.  It returns ErrTooManyTransactions when the
@@ -85,8 +90,17 @@ func (t *Txn) Active() bool { return t.active }
 func (t *Txn) RowsInserted() int { return t.rowsInserted }
 
 func (t *Txn) recordInsert(table string, rowID int64) {
-	t.undo = append(t.undo, undoRecord{table: table, rowID: rowID})
+	t.undo = append(t.undo, undoRecord{table: table, rowID: rowID, n: 1})
 	t.rowsInserted++
+}
+
+// recordInsertRange records n contiguous inserts starting at firstID.
+func (t *Txn) recordInsertRange(table string, firstID, n int64) {
+	if n <= 0 {
+		return
+	}
+	t.undo = append(t.undo, undoRecord{table: table, rowID: firstID, n: n})
+	t.rowsInserted += int(n)
 }
 
 // Insert validates and stores one row in the named table.  columns selects
@@ -157,13 +171,13 @@ func (t *Txn) settleEpochs() {
 		found := false
 		for i := range touchedTables {
 			if touchedTables[i].table == tbl {
-				touchedTables[i].rows++
+				touchedTables[i].rows += u.n
 				found = true
 				break
 			}
 		}
 		if !found {
-			touchedTables = append(touchedTables, touched{table: tbl, rows: 1})
+			touchedTables = append(touchedTables, touched{table: tbl, rows: u.n})
 		}
 	}
 	for _, tc := range touchedTables {
@@ -178,12 +192,16 @@ func (t *Txn) Rollback() error {
 		return ErrTxnNotActive
 	}
 	// Undo in reverse order so children are removed before parents and the
-	// foreign-key invariant never observes an orphan.
+	// foreign-key invariant never observes an orphan (within a range record,
+	// ids descend for the same reason: a self-referential batch stores
+	// parents before the children that point at them).
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		u := t.undo[i]
 		if tbl := t.db.tables[u.table]; tbl != nil {
-			tbl.deleteRow(t.sc, u.rowID)
-			t.db.counters.rowsInserted.Add(-1)
+			for id := u.rowID + u.n - 1; id >= u.rowID; id-- {
+				tbl.deleteRow(t.sc, id)
+				t.db.counters.rowsInserted.Add(-1)
+			}
 		}
 	}
 	t.settleEpochs()

@@ -353,7 +353,12 @@ func EncodeKey(vals []Value) string {
 
 // ValueSize estimates the storage footprint of a value in bytes, used for
 // page-fill and log-volume accounting.
-func ValueSize(v Value) int {
+func ValueSize(v Value) int { return valueSizeRef(&v) }
+
+// valueSizeRef is ValueSize through a pointer, for hot paths that must not
+// copy the 40-byte Value per call; both size accountings share this one
+// table so heap/network and index/log volumes cannot drift apart.
+func valueSizeRef(v *Value) int {
 	switch v.Kind {
 	case KindNull:
 		return 1
@@ -373,10 +378,15 @@ func ValueSize(v Value) int {
 }
 
 // RowSize estimates the storage footprint of a row in bytes.
+//
+// The loop indexes into the row instead of ranging over it: a range copies
+// each 40-byte Value out of the slice per element, and RowSize sits on the
+// client buffering path (arrayset.Add) as well as the heap append path, where
+// that copy was measurable (BenchmarkArraySetAddFlush).
 func RowSize(r Row) int {
 	n := 4 // row header
-	for _, v := range r {
-		n += ValueSize(v)
+	for i := range r {
+		n += valueSizeRef(&r[i])
 	}
 	return n
 }

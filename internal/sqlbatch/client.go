@@ -174,6 +174,22 @@ func (s *Stmt) ExecuteBatch() (BatchResult, error) {
 	}
 	rows := s.batch
 	s.batch = nil
+	return s.ExecuteBatchRows(rows)
+}
+
+// ExecuteBatchRows sends rows to the server in one database call without
+// staging them through AddBatch, sparing the loader's flush path one row copy
+// per row: array-set buffers are stable for the life of the flush cycle, so
+// they can be handed to the server by reference.  The caller must not mutate
+// rows until the call returns; the engine coerces values into its own storage
+// and never retains the argument.  Error semantics match ExecuteBatch.
+func (s *Stmt) ExecuteBatchRows(rows [][]relstore.Value) (BatchResult, error) {
+	if len(rows) == 0 {
+		return BatchResult{FailedIndex: -1}, ErrBatchEmpty
+	}
+	if !s.conn.InTransaction() {
+		return BatchResult{FailedIndex: -1}, ErrNoTransaction
+	}
 	res := s.conn.server.execBatch(s.conn.worker, s.conn.txn, s.table, s.columns, rows)
 	s.conn.stats.Calls++
 	s.conn.stats.Batches++

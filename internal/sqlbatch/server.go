@@ -277,18 +277,39 @@ func (s *Server) execBatch(w exec.Worker, txn *relstore.Txn, table string, colum
 	w.Sleep(s.cost.CallOverhead + s.cost.NetworkTime(payload))
 
 	// 2. Server-side execution under one CPU.
+	//
+	// The two schedulers take different engine paths with identical
+	// semantics: the DES scheduler keeps the row-at-a-time loop because the
+	// §5 virtual-time figures are calibrated against per-row physical work
+	// (per-row WAL records, per-row lock round trips, per-row index
+	// descents), while wall-clock mode routes through the batch-apply path,
+	// which amortizes that synchronization across the batch and is where the
+	// real hardware speedup comes from.  Both stop at the first failing row
+	// and leave the rows before it applied.
 	var rep relstore.OpReport
 	inserted := 0
 	var failErr error
-	for i, r := range rows {
-		one, err := txn.Insert(table, columns, r)
-		rep.Add(one)
-		if err != nil {
-			res.FailedIndex = i
-			failErr = err
-			break
+	if s.sched.Deterministic() || len(rows) == 1 {
+		// Single-row calls take the per-row path in every mode: there is
+		// nothing to amortize, and the non-bulk baseline (ExecuteSingle)
+		// must never ride the batch-apply machinery it exists to measure
+		// loading without.
+		for i, r := range rows {
+			one, err := txn.Insert(table, columns, r)
+			rep.Add(one)
+			if err != nil {
+				res.FailedIndex = i
+				failErr = err
+				break
+			}
+			inserted++
 		}
-		inserted++
+	} else {
+		br, err := txn.InsertBatch(table, columns, rows)
+		rep = br.Report
+		inserted = br.RowsInserted
+		res.FailedIndex = br.FailedIndex
+		failErr = err
 	}
 	res.RowsInserted = inserted
 	res.Err = failErr
