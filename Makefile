@@ -20,12 +20,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Batch-apply benchmark smoke: exercises the per-row loop, Txn.InsertBatch
-# and the sorted bulk B-tree pass so the batch path cannot silently regress
-# or break.  -benchtime=100x keeps it a smoke test (counts, not timings);
-# real measurements live in BENCH_batchapply.json and need a quiet host.
+# Batch-apply + index-build benchmark smoke: exercises the per-row loop,
+# Txn.InsertBatch, the sorted bulk B-tree pass, the Seal bulk leaf build and
+# the immediate-vs-deferred load policy comparison so neither path can
+# silently regress or break.  -benchtime=100x (1x for the whole-load policy
+# bench) keeps it a smoke test (counts, not timings); real measurements live
+# in BENCH_batchapply.json and BENCH_indexbuild.json and need a quiet host.
 bench:
-	$(GO) test -run '^$$' -bench 'InsertBatch|InsertPrepared|BTreeInsertSorted' -benchtime=100x ./internal/relstore/
+	$(GO) test -run '^$$' -bench 'InsertBatch|InsertPrepared|BTreeInsertSorted|SealBulkBuild' -benchtime=100x ./internal/relstore/
+	$(GO) test -run '^$$' -bench 'IndexLoadPolicy' -benchtime=1x ./internal/relstore/
 
 smoke:
 	$(GO) run ./cmd/skyserve -smoke

@@ -296,7 +296,7 @@ func BenchmarkArraySetAdd(b *testing.B) {
 // BenchmarkRelstoreInsert measures the engine's raw insert path (constraints,
 // heap, PK hash, WAL, cache) without the simulation layer.
 func BenchmarkRelstoreInsert(b *testing.B) {
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(catalog.NewSchema())
 	txn, err := db.Begin()
 	if err != nil {
 		b.Fatal(err)
@@ -320,7 +320,7 @@ func BenchmarkRelstoreInsert(b *testing.B) {
 func BenchmarkLoaderEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		kernel := des.NewKernel(int64(i))
-		db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+		db := relstore.MustOpen(catalog.NewSchema())
 		txn, _ := db.Begin()
 		if err := catalog.SeedReference(txn, 8); err != nil {
 			b.Fatal(err)

@@ -10,6 +10,7 @@
 //	skyload -loaders 1 -batch 40 file.cat      # single-process bulk load
 //	skyload -nonbulk file.cat                  # row-at-a-time baseline
 //	skyload -profile untuned night01/*.cat     # eager indices, frequent commits
+//	skyload -index-policy deferred night01/*.cat # suspend index maintenance, bulk-build at Seal
 //	skyload -config campaign.json night01/*.cat # JSON campaign configuration
 //	skyload -size 200                          # no files: generate 200 MB in memory
 //	skyload -wallclock -loaders 4 -size 200    # real goroutines, wall-clock timing
@@ -54,6 +55,7 @@ func main() {
 		nonBulk    = flag.Bool("nonbulk", false, "use the row-at-a-time baseline loader")
 		static     = flag.Bool("static", false, "use static file assignment instead of dynamic")
 		profile    = flag.String("profile", "production", "tuning profile: production|untuned|query")
+		idxBuild   = flag.String("index-policy", "immediate", "secondary-index maintenance: immediate (per batch) or deferred (bulk-build at end-of-load Seal)")
 		configPath = flag.String("config", "", "JSON campaign configuration file (overrides the tuning flags)")
 		size       = flag.Float64("size", 0, "generate a catalog of this nominal MB instead of reading files")
 		nfiles     = flag.Int("files", 1, "number of files to split a generated -size catalog into (parallel loaders need >1)")
@@ -73,6 +75,7 @@ func main() {
 		dbCfg       relstore.Config
 		srvCfg      sqlbatch.ServerConfig
 		indexPolicy tuning.IndexPolicy
+		buildPolicy relstore.IndexPolicy
 		loaderCfg   core.Config
 		clusterCfg  parallel.Config
 	)
@@ -84,6 +87,7 @@ func main() {
 		dbCfg = campaign.DBConfig()
 		srvCfg = campaign.ServerConfig()
 		indexPolicy = campaign.IndexPolicyValue()
+		buildPolicy = campaign.BuildPolicyValue()
 		loaderCfg = campaign.LoaderConfig()
 		loaderCfg.RecordProvenance = loaderCfg.RecordProvenance || *provenance
 		clusterCfg = campaign.ClusterConfig()
@@ -96,6 +100,10 @@ func main() {
 		}
 	} else {
 		prof, err := profileByName(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		buildPolicy, err = relstore.ParseIndexPolicy(*idxBuild)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,9 +125,10 @@ func main() {
 			assignment = parallel.Static
 		}
 		clusterCfg = parallel.Config{
-			Loaders:    *loaders,
-			Assignment: assignment,
-			Loader:     loaderCfg,
+			Loaders:       *loaders,
+			Assignment:    assignment,
+			Loader:        loaderCfg,
+			SealAfterLoad: buildPolicy == relstore.IndexDeferred,
 		}
 	}
 	clusterCfg.NonBulk = *nonBulk
@@ -153,7 +162,8 @@ func main() {
 
 	// Build a fresh environment (database + server) on the given scheduler.
 	buildEnv := func(sched exec.Scheduler) (*sqlbatch.Server, *relstore.DB) {
-		db, err := relstore.NewDB(catalog.NewSchema(), dbCfg)
+		db, err := relstore.Open(catalog.NewSchema(),
+			relstore.WithConfig(dbCfg), relstore.WithIndexPolicy(buildPolicy))
 		if err != nil {
 			fatal(err)
 		}
@@ -167,7 +177,7 @@ func main() {
 		if _, err := txn.Commit(); err != nil {
 			fatal(err)
 		}
-		if err := tuning.ApplyIndexPolicy(db, indexPolicy); err != nil {
+		if err := tuning.ApplyIndexPolicyWith(db, indexPolicy, buildPolicy); err != nil {
 			fatal(err)
 		}
 		return sqlbatch.NewServerOn(sched, db, srvCfg, sqlbatch.DefaultCostModel()), db
@@ -202,6 +212,10 @@ func reportWallclock(rt, sim parallel.Result, db *relstore.DB, loaders int, verb
 	fmt.Printf("files loaded:        %d\n", t.Files)
 	fmt.Printf("rows loaded:         %d\n", t.RowsLoaded)
 	fmt.Printf("rows skipped (db):   %d\n", t.RowsSkipped)
+	if rt.Seal.Sealed() {
+		fmt.Printf("index seal:          %d indexes bulk-built (%d rows streamed) in %s\n",
+			len(rt.Seal.Indexes), rt.Seal.RowsStreamed, rt.SealTime.Round(1e3))
+	}
 	fmt.Printf("real load time:      %s\n", rt.WallTime)
 	fmt.Printf("real throughput:     %.3f MB/s (nominal)\n", rt.ThroughputMBps)
 	if rt.WallTime > 0 {
@@ -298,6 +312,10 @@ func report(res parallel.Result, db *relstore.DB, verbose bool) {
 	fmt.Printf("database calls:      %d\n", t.DBCalls)
 	fmt.Printf("commits:             %d\n", t.Commits)
 	fmt.Printf("lock waits / stalls: %d / %d\n", t.LockWaits, t.LongStalls)
+	if res.Seal.Sealed() {
+		fmt.Printf("index seal:          %d indexes bulk-built (%d rows streamed) in %s\n",
+			len(res.Seal.Indexes), res.Seal.RowsStreamed, res.SealTime)
+	}
 	fmt.Printf("virtual load time:   %s\n", res.WallTime)
 	fmt.Printf("throughput:          %.3f MB/s (nominal)\n", res.ThroughputMBps)
 

@@ -63,6 +63,28 @@
 // PERFORMANCE.md documents when to use which mode and the scratch-buffer
 // ownership rules that keep the insert path allocation-lean under
 // concurrency; BENCH_concurrency.json records the measured numbers.
+//
+// # Load policies and the Open options API
+//
+// The storage engine is constructed with relstore.Open(schema, ...Option);
+// functional options (WithCache, WithMaxConcurrentTxns, WithBTreeDegree,
+// WithDirtyFlushPages, WithWALSync, WithIndexPolicy, WithConfig) subsume the
+// positional Config struct and carry the load-lifecycle policies that Config
+// cannot express.  relstore.NewDB and MustNewDB remain as deprecated
+// wrappers: migrate NewDB(schema, cfg) to Open(schema, WithConfig(cfg)), or
+// to the individual options when the config is built in place — zero-valued
+// knobs keep their defaults either way, so the rewrite is mechanical.  New
+// engine knobs are added as options only; Config is frozen.
+//
+// Every secondary index carries an IndexPolicy.  IndexImmediate (the
+// default) maintains the index on every insert.  IndexDeferred participates
+// in the load lifecycle — DB.BeginLoad suspends it, inserts skip it, and
+// DB.Seal bulk-rebuilds it from a presorted key stream by packing B-tree
+// leaves left to right (BTree.BuildFromSorted) — which is the paper's
+// Figure 8 drop-indexes-while-loading lever as a supported engine mode.
+// README.md ("Load policies") shows the workflow end to end, PERFORMANCE.md
+// states the Seal ownership rules, and BENCH_indexbuild.json records the
+// measured immediate-vs-deferred numbers.
 package skyloader
 
 // Version identifies this reproduction release.

@@ -23,7 +23,7 @@ import (
 )
 
 func load(errorRate float64) (core.Stats, *relstore.DB) {
-	db, err := relstore.NewDB(catalog.NewSchema(), relstore.DefaultConfig())
+	db, err := relstore.Open(catalog.NewSchema(), relstore.WithConfig(relstore.DefaultConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -49,7 +49,7 @@ func main() {
 	//    pool, admission queue and epoch-invalidated result cache.
 	sched := exec.NewDES(des.NewKernel(seed))
 	prof := tuning.ProductionLoading() // htmid index only: the Figure 8 choice
-	db := relstore.MustNewDB(catalog.NewSchema(), prof.DBConfig())
+	db := relstore.MustOpen(catalog.NewSchema(), prof.Options()...)
 	txn, err := db.Begin()
 	if err != nil {
 		log.Fatal(err)

@@ -24,7 +24,7 @@ import (
 // newRepository builds a fresh simulated repository and server.
 func newRepository(seed int64) (*sqlbatch.Server, error) {
 	kernel := des.NewKernel(seed)
-	db, err := relstore.NewDB(catalog.NewSchema(), relstore.DefaultConfig())
+	db, err := relstore.Open(catalog.NewSchema(), relstore.WithConfig(relstore.DefaultConfig()))
 	if err != nil {
 		return nil, err
 	}

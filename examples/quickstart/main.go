@@ -37,7 +37,7 @@ func main() {
 	// 2. The repository: the 23-table Palomar-Quest data model hosted by the
 	//    embedded engine, with reference data seeded and the production
 	//    index policy (htmid only) applied.
-	db, err := relstore.NewDB(catalog.NewSchema(), relstore.DefaultConfig())
+	db, err := relstore.Open(catalog.NewSchema(), relstore.WithConfig(relstore.DefaultConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}

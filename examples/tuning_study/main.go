@@ -26,7 +26,7 @@ import (
 // runOnce loads a 200 MB file under the given tuning profile and returns the
 // loader statistics.
 func runOnce(prof tuning.Profile) core.Stats {
-	db, err := relstore.NewDB(catalog.NewSchema(), prof.DBConfig())
+	db, err := relstore.Open(catalog.NewSchema(), prof.Options()...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -93,7 +93,7 @@ func main() {
 // runCluster builds a fresh repository on sched and loads the night with n
 // loaders.
 func runCluster(sched exec.Scheduler, files []*catalog.File, n int) parallel.Result {
-	db, err := relstore.NewDB(catalog.NewSchema(), relstore.DefaultConfig())
+	db, err := relstore.Open(catalog.NewSchema(), relstore.WithConfig(relstore.DefaultConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}

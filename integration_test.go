@@ -25,7 +25,7 @@ import (
 func newRepo(t *testing.T, seed int64, policy tuning.IndexPolicy) *sqlbatch.Server {
 	t.Helper()
 	kernel := des.NewKernel(seed)
-	db, err := relstore.NewDB(catalog.NewSchema(), relstore.DefaultConfig())
+	db, err := relstore.Open(catalog.NewSchema(), relstore.WithConfig(relstore.DefaultConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}

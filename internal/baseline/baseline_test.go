@@ -13,7 +13,7 @@ import (
 func testEnv(t *testing.T) *sqlbatch.Server {
 	t.Helper()
 	k := des.NewKernel(3)
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(catalog.NewSchema())
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)

@@ -52,7 +52,7 @@ func TestSchemaTopologicalOrderRespectsHierarchy(t *testing.T) {
 }
 
 func TestSeedReference(t *testing.T) {
-	db := relstore.MustNewDB(NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(NewSchema())
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +80,7 @@ func TestSeedReference(t *testing.T) {
 		t.Fatalf("reference data has %d orphans", orphans)
 	}
 	// Default run count applies when numRuns <= 0.
-	db2 := relstore.MustNewDB(NewSchema(), relstore.Config{})
+	db2 := relstore.MustOpen(NewSchema())
 	txn2, _ := db2.Begin()
 	if err := SeedReference(txn2, 0); err != nil {
 		t.Fatal(err)

@@ -41,6 +41,13 @@ type Config struct {
 	// ChargeStaging, when true, charges the time to stage each catalog file
 	// from mass storage before parsing it.
 	ChargeStaging bool
+	// SealAfterLoad, when true, closes the engine's load phase at the end of
+	// LoadFiles: deferred-policy indexes are bulk-rebuilt (DB.Seal) through
+	// this loader's connection and the build time lands in Stats.SealTime
+	// and Elapsed.  Single-loader callers set it together with a
+	// deferred-index tuning profile; multi-loader clusters seal once through
+	// the coordinator (parallel.Config.SealAfterLoad) instead.
+	SealAfterLoad bool
 }
 
 // DefaultConfig returns the production SkyLoader configuration (batch 40,
@@ -90,6 +97,12 @@ type Stats struct {
 	NominalBytes int64
 	Elapsed      time.Duration
 
+	// SealTime is the service time spent closing the load phase (bulk index
+	// rebuild) when SealAfterLoad is set; IndexesSealed counts the indexes
+	// rebuilt.  Both are zero under the immediate policy.
+	SealTime      time.Duration
+	IndexesSealed int
+
 	RowsLoadedByTable map[string]int
 	SkippedByTable    map[string]int
 	Skipped           []SkippedRow
@@ -118,6 +131,8 @@ func (s *Stats) Merge(other Stats) {
 	s.LockWaits += other.LockWaits
 	s.LongStalls += other.LongStalls
 	s.NominalBytes += other.NominalBytes
+	s.SealTime += other.SealTime
+	s.IndexesSealed += other.IndexesSealed
 	if other.Elapsed > s.Elapsed {
 		s.Elapsed = other.Elapsed
 	}
@@ -200,7 +215,8 @@ func (l *Loader) Stats() Stats { return l.stats }
 func (l *Loader) Config() Config { return l.cfg }
 
 // LoadFiles loads the given catalog files sequentially and returns the
-// accumulated statistics.  Elapsed time covers the whole call.
+// accumulated statistics.  Elapsed time covers the whole call, including the
+// end-of-load Seal when SealAfterLoad is set.
 func (l *Loader) LoadFiles(files []*catalog.File) (Stats, error) {
 	start := l.conn.Worker().Now()
 	for _, f := range files {
@@ -208,8 +224,28 @@ func (l *Loader) LoadFiles(files []*catalog.File) (Stats, error) {
 			return l.stats, err
 		}
 	}
+	if l.cfg.SealAfterLoad {
+		if err := l.Seal(); err != nil {
+			return l.stats, err
+		}
+	}
 	l.stats.Elapsed = l.conn.Worker().Now() - start
 	return l.stats, nil
+}
+
+// Seal closes the engine's load phase through this loader's connection,
+// bulk-rebuilding every deferred index, and accounts the build time.  It is
+// called automatically by LoadFiles under Config.SealAfterLoad and may be
+// called directly by coordinators that drive LoadFile themselves.
+func (l *Loader) Seal() error {
+	start := l.conn.Worker().Now()
+	rep, err := l.conn.Seal()
+	if err != nil {
+		return fmt.Errorf("core: seal: %w", err)
+	}
+	l.stats.SealTime += l.conn.Worker().Now() - start
+	l.stats.IndexesSealed += len(rep.Indexes)
+	return nil
 }
 
 // LoadFile loads one catalog file: it implements the bulk_loading procedure

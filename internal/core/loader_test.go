@@ -16,7 +16,7 @@ import (
 func testEnv(t *testing.T) (*des.Kernel, *sqlbatch.Server) {
 	t.Helper()
 	k := des.NewKernel(7)
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(catalog.NewSchema())
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)
@@ -363,7 +363,7 @@ func TestRowAccountingProperty(t *testing.T) {
 // testEnvQuiet is testEnv without the testing.T plumbing, for property tests.
 func testEnvQuiet() (*des.Kernel, *sqlbatch.Server) {
 	k := des.NewKernel(7)
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(catalog.NewSchema())
 	txn, _ := db.Begin()
 	_ = catalog.SeedReference(txn, 8)
 	_, _ = txn.Commit()

@@ -93,7 +93,7 @@ func NewEnv(opt EnvOptions) (*Env, error) {
 		opt.DBConfig = relstore.DefaultConfig()
 	}
 	kernel := des.NewKernel(opt.Seed)
-	db, err := relstore.NewDB(catalog.NewSchema(), opt.DBConfig)
+	db, err := relstore.Open(catalog.NewSchema(), relstore.WithConfig(opt.DBConfig))
 	if err != nil {
 		return nil, err
 	}

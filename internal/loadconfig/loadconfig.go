@@ -40,7 +40,12 @@ type FileConfig struct {
 	Assignment string `json:"assignment"` // "dynamic" or "static"
 
 	// Database tuning (§4.5).
-	IndexPolicy  string `json:"index_policy"` // "none", "htmid", "htmid+composite"
+	IndexPolicy string `json:"index_policy"` // "none", "htmid", "htmid+composite"
+	// IndexBuild selects the engine maintenance policy for those indices:
+	// "immediate" (default, per-batch maintenance) or "deferred" (suspend
+	// during the load, bulk-build at the end-of-load Seal — Figure 8's
+	// drop-and-rebuild lever).
+	IndexBuild   string `json:"index_build,omitempty"`
 	CachePages   int    `json:"cache_pages"`
 	SeparateRAID *bool  `json:"separate_raid,omitempty"`
 
@@ -132,6 +137,9 @@ func (c FileConfig) Validate() error {
 	if _, err := c.indexPolicy(); err != nil {
 		problems = append(problems, err.Error())
 	}
+	if _, err := c.buildPolicy(); err != nil {
+		problems = append(problems, err.Error())
+	}
 	if c.CachePages < 0 {
 		problems = append(problems, "cache_pages must not be negative")
 	}
@@ -183,19 +191,35 @@ func (c FileConfig) LoaderConfig() core.Config {
 }
 
 // ClusterConfig converts the campaign configuration into the parallel
-// coordinator configuration.
+// coordinator configuration.  A deferred index_build turns on the cluster's
+// end-of-load Seal phase.
 func (c FileConfig) ClusterConfig() parallel.Config {
 	assignment, _ := c.assignment()
 	return parallel.Config{
-		Loaders:    c.Loaders,
-		Assignment: assignment,
-		Loader:     c.LoaderConfig(),
+		Loaders:       c.Loaders,
+		Assignment:    assignment,
+		Loader:        c.LoaderConfig(),
+		SealAfterLoad: c.BuildPolicyValue() == relstore.IndexDeferred,
 	}
+}
+
+func (c FileConfig) buildPolicy() (relstore.IndexPolicy, error) {
+	p, err := relstore.ParseIndexPolicy(strings.ToLower(strings.TrimSpace(c.IndexBuild)))
+	if err != nil {
+		return relstore.IndexImmediate, fmt.Errorf("index_build must be immediate|deferred, got %q", c.IndexBuild)
+	}
+	return p, nil
 }
 
 // IndexPolicyValue returns the parsed index policy.
 func (c FileConfig) IndexPolicyValue() tuning.IndexPolicy {
 	p, _ := c.indexPolicy()
+	return p
+}
+
+// BuildPolicyValue returns the parsed engine index maintenance policy.
+func (c FileConfig) BuildPolicyValue() relstore.IndexPolicy {
+	p, _ := c.buildPolicy()
 	return p
 }
 

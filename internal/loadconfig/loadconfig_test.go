@@ -9,6 +9,7 @@ import (
 
 	"skyloader/internal/catalog"
 	"skyloader/internal/parallel"
+	"skyloader/internal/relstore"
 	"skyloader/internal/tuning"
 )
 
@@ -148,5 +149,28 @@ func TestAssignmentAndPolicyAliases(t *testing.T) {
 	cfg.Assignment = "DYNAMIC"
 	if cc := cfg.ClusterConfig(); cc.Assignment != parallel.Dynamic {
 		t.Fatal("case-insensitive assignment broken")
+	}
+}
+
+func TestIndexBuildField(t *testing.T) {
+	cfg := Default()
+	if cfg.BuildPolicyValue() != relstore.IndexImmediate {
+		t.Fatalf("default index_build = %v, want immediate", cfg.BuildPolicyValue())
+	}
+	if cfg.ClusterConfig().SealAfterLoad {
+		t.Fatal("default campaign must not seal")
+	}
+	parsed, err := Parse(strings.NewReader(`{"index_build": "deferred"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.BuildPolicyValue() != relstore.IndexDeferred {
+		t.Fatalf("index_build = %v, want deferred", parsed.BuildPolicyValue())
+	}
+	if !parsed.ClusterConfig().SealAfterLoad {
+		t.Fatal("deferred campaign must enable the seal phase")
+	}
+	if _, err := Parse(strings.NewReader(`{"index_build": "sometimes"}`)); err == nil {
+		t.Fatal("bad index_build accepted")
 	}
 }

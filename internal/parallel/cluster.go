@@ -14,6 +14,7 @@
 package parallel
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"skyloader/internal/catalog"
 	"skyloader/internal/core"
 	"skyloader/internal/exec"
+	"skyloader/internal/relstore"
 	"skyloader/internal/sqlbatch"
 )
 
@@ -58,6 +60,12 @@ type Config struct {
 	NonBulk bool
 	// StartStagger spaces out node start times (Condor dispatch latency).
 	StartStagger time.Duration
+	// SealAfterLoad runs an end-of-load Seal phase once every node has
+	// finished: deferred-policy indexes are bulk-rebuilt by a single
+	// coordinator worker and the build time is folded into Result.WallTime
+	// (and reported separately as Result.SealTime).  Exactly one seal happens
+	// per cluster load, regardless of the loader count.
+	SealAfterLoad bool
 }
 
 // NodeResult reports one loader node's outcome.
@@ -81,6 +89,11 @@ type Result struct {
 	WallTime time.Duration
 	// ThroughputMBps is nominal megabytes loaded per second of makespan.
 	ThroughputMBps float64
+	// SealTime is the duration of the end-of-load Seal phase (zero unless
+	// Config.SealAfterLoad ran one); it is included in WallTime.  Seal is
+	// the engine's report of what the phase rebuilt.
+	SealTime time.Duration
+	Seal     relstore.SealReport
 	// Server is the database server's counter snapshot after the run.
 	Server sqlbatch.ServerStats
 }
@@ -145,25 +158,77 @@ type Cluster struct {
 // Run performs a cluster load of files against server using cfg.Loaders
 // concurrent loader workers, driving the server's scheduler until every node
 // finishes.  It must be called before the scheduler has been run for other
-// purposes in the same time window.
+// purposes in the same time window.  With cfg.SealAfterLoad the load is
+// followed by a single coordinator-driven Seal phase.
 func Run(server *sqlbatch.Server, files []*catalog.File, cfg Config) (Result, error) {
 	cl, err := Spawn(server, files, cfg)
 	if err != nil {
 		return Result{}, err
 	}
 	server.Scheduler().Run()
-	return cl.Collect()
+	res, err := cl.Collect()
+	if err != nil {
+		return res, err
+	}
+	if cfg.SealAfterLoad {
+		if err := SealPhase(server, &res); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// SealPhase closes the engine's load phase after a cluster load: one
+// coordinator worker calls Server.Seal, so the bulk index rebuild happens
+// exactly once and after every loader has finished.  The phase's duration is
+// added to res.WallTime (the load is not done until its indexes are) and the
+// throughput and server snapshot are refreshed.  It runs the scheduler for a
+// second phase, so it must only be called once the first Run has returned —
+// parallel.Run and serve.RunMixed do this; direct Spawn/Collect callers may
+// call it themselves.
+func SealPhase(server *sqlbatch.Server, res *Result) error {
+	sched := server.Scheduler()
+	var (
+		rep     relstore.SealReport
+		sealErr error
+		dur     time.Duration
+	)
+	sched.Spawn("sealer", func(w exec.Worker) {
+		start := w.Now()
+		rep, sealErr = server.Seal(w)
+		dur = w.Now() - start
+	})
+	sched.Run()
+	if sealErr != nil {
+		return fmt.Errorf("parallel: seal: %w", sealErr)
+	}
+	res.Seal = rep
+	res.SealTime = dur
+	res.WallTime += dur
+	if res.WallTime > 0 {
+		res.ThroughputMBps = float64(res.Total.NominalBytes) / 1e6 / res.WallTime.Seconds()
+	}
+	res.Server = server.Stats()
+	return nil
 }
 
 // Spawn registers cfg.Loaders loader workers for the files on the server's
 // scheduler and returns the pending cluster.  The workers do not run until
 // the scheduler is driven; call Collect after the scheduler's Run returns.
+// With cfg.SealAfterLoad the engine's load phase is opened here, before any
+// loader starts (an already-open phase is tolerated, so callers may
+// BeginLoad themselves); the matching SealPhase runs after Collect.
 func Spawn(server *sqlbatch.Server, files []*catalog.File, cfg Config) (*Cluster, error) {
 	if cfg.Loaders <= 0 {
 		cfg.Loaders = 1
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("parallel: no files to load")
+	}
+	if cfg.SealAfterLoad {
+		if err := server.BeginLoad(); err != nil && !errors.Is(err, relstore.ErrLoadPhaseActive) {
+			return nil, fmt.Errorf("parallel: begin load: %w", err)
+		}
 	}
 	sched := server.Scheduler()
 

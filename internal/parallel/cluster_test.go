@@ -13,7 +13,7 @@ import (
 func testServer(t *testing.T) *sqlbatch.Server {
 	t.Helper()
 	k := des.NewKernel(5)
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(catalog.NewSchema())
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)

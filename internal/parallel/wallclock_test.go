@@ -15,7 +15,7 @@ import (
 // real goroutines sharing one relstore engine.
 func wallclockServer(tb testing.TB) *sqlbatch.Server {
 	tb.Helper()
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(catalog.NewSchema())
 	txn, err := db.Begin()
 	if err != nil {
 		tb.Fatal(err)

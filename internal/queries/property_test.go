@@ -17,7 +17,7 @@ import (
 // built, inserting rows directly (no loader) so the test controls positions.
 func randomCatalog(t testing.TB, rng *rand.Rand, n int, raBase, decBase, spread float64) *relstore.DB {
 	t.Helper()
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(catalog.NewSchema())
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)

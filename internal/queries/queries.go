@@ -12,6 +12,7 @@
 package queries
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -107,12 +108,12 @@ func ConeSearch(db *relstore.DB, raDeg, decDeg, radiusDeg float64) ([]Object, St
 	if ts == nil {
 		return nil, Stats{}, fmt.Errorf("queries: schema has no objects table")
 	}
-	var stats Stats
-	var out []Object
-
-	index := db.Table(catalog.TObjects).Index(tuning.HTMIDIndexName)
-	if index == nil {
-		// Full scan fallback.
+	// fullScan is the index-free path: it answers when the index is absent,
+	// or when it exists under the deferred policy mid-load (suspended until
+	// Seal) and is missing the rows loaded so far.
+	fullScan := func() ([]Object, Stats, error) {
+		var stats Stats
+		var out []Object
 		err := db.ScanRef(catalog.TObjects, func(r relstore.Row) bool {
 			stats.RowsExamined++
 			obj := decodeObject(ts, r)
@@ -126,6 +127,13 @@ func ConeSearch(db *relstore.DB, raDeg, decDeg, radiusDeg float64) ([]Object, St
 		return out, stats, err
 	}
 
+	index := db.Table(catalog.TObjects).Index(tuning.HTMIDIndexName)
+	if index == nil || !index.Ready() {
+		return fullScan()
+	}
+
+	var stats Stats
+	var out []Object
 	stats.UsedIndex = true
 	depth := coneCoverDepth(radiusDeg)
 	cover, err := htm.ConeCover(raDeg, decDeg, radiusDeg, depth)
@@ -141,6 +149,13 @@ func ConeSearch(db *relstore.DB, raDeg, decDeg, radiusDeg float64) ([]Object, St
 		ids := rg.DescendantRange(htm.DefaultDepth - depth)
 		rows, err := db.RangeIndexed(catalog.TObjects, tuning.HTMIDIndexName,
 			[]relstore.Value{relstore.Int(ids.Lo)}, []relstore.Value{relstore.Int(ids.Hi)}, 0)
+		if errors.Is(err, relstore.ErrIndexNotReady) {
+			// The index passed the Ready check above but a load phase opened
+			// mid-query and suspended it (real-concurrency engine).  Restart
+			// on the scan path instead of failing a query the fallback can
+			// answer correctly.
+			return fullScan()
+		}
 		if err != nil {
 			return nil, stats, err
 		}

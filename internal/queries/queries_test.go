@@ -16,7 +16,7 @@ import (
 func loadedRepo(t *testing.T, policy tuning.IndexPolicy) *relstore.DB {
 	t.Helper()
 	kernel := des.NewKernel(2)
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(catalog.NewSchema())
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)

@@ -29,7 +29,7 @@ func TestAppendKeyZeroAlloc(t *testing.T) {
 // representation this replaced needed ~14 allocations per insert on the same
 // table; the budget below leaves room for amortized map/slice growth only.
 func TestInsertPreparedAllocBudget(t *testing.T) {
-	db, err := NewDB(testSchema(t), Config{})
+	db, err := Open(testSchema(t))
 	if err != nil {
 		t.Fatal(err)
 	}

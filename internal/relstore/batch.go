@@ -313,11 +313,12 @@ func (t *Table) insertBatchLocked(db *DB, txn *Txn, built []Row, rep *OpReport) 
 		rep.UndoRecords++
 	}
 
-	// Sorted bulk merge into every secondary index, covering exactly the
-	// applied prefix (rollback's deleteRow relies on index entries existing
-	// for every row in the undo log, so this runs even after a mid-batch
-	// failure).
-	for _, ix := range t.indexList {
+	// Sorted bulk merge into every maintained secondary index, covering
+	// exactly the applied prefix (rollback's deleteRow relies on index
+	// entries existing for every row in the undo log, so this runs even
+	// after a mid-batch failure).  Suspended (deferred, mid-load) indexes are
+	// skipped entirely — that is the deferred policy's whole saving.
+	for _, ix := range t.liveList {
 		t.bulkIndexInsert(sc, ix, built[:len(ids)], ids, rep)
 	}
 	return len(ids), firstPage, lastPage, firstErr

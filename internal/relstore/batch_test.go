@@ -77,7 +77,7 @@ func statsFingerprint(db *DB) string {
 // foreign keys to point at.
 func batchPropertyDB(t *testing.T) *DB {
 	t.Helper()
-	db := MustNewDB(testSchema(t), Config{BTreeDegree: 3, CachePages: 64, DirtyFlushPages: 8})
+	db := MustOpen(testSchema(t), WithBTreeDegree(3), WithCache(64), WithDirtyFlushPages(8))
 	// ix_mag exercises the float comparator, ix_frame the raw-int64 sort
 	// path (both duplicate-heavy), and the composite index the generic one.
 	if _, err := db.CreateIndex("objects", "ix_mag", []string{"mag"}, false); err != nil {
@@ -243,7 +243,7 @@ func TestInsertBatchSelfReferentialFK(t *testing.T) {
 	cols := []string{"node_id", "parent_id"}
 
 	// Forward references (parent earlier in the batch) succeed.
-	db := MustNewDB(schema, Config{})
+	db := MustOpen(schema)
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)
@@ -341,8 +341,8 @@ func TestInsertBatchNullIndexKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := MustNewDB(schema, Config{BTreeDegree: 2})
-	got := MustNewDB(schema, Config{BTreeDegree: 2})
+	ref := MustOpen(schema, WithBTreeDegree(2))
+	got := MustOpen(schema, WithBTreeDegree(2))
 	for _, db := range []*DB{ref, got} {
 		if _, err := db.CreateIndex("pts", "ix_grade", []string{"grade"}, false); err != nil {
 			t.Fatal(err)

@@ -45,7 +45,7 @@ func batchBenchSchema(b *testing.B) *Schema {
 // foreign-key probes to hit.
 func batchBenchDB(b *testing.B) *DB {
 	b.Helper()
-	db := MustNewDB(batchBenchSchema(b), Config{})
+	db := MustOpen(batchBenchSchema(b))
 	if _, err := db.CreateIndex("objs", "ix_htmid", []string{"htmid"}, false); err != nil {
 		b.Fatal(err)
 	}

@@ -9,7 +9,7 @@ import (
 // secondary B-tree index.
 func benchInsertDB(b *testing.B) (*DB, *Table) {
 	b.Helper()
-	db, err := NewDB(testSchema(b), Config{})
+	db, err := Open(testSchema(b))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -337,6 +337,142 @@ func (si *sortedInserter) descendInsert(key []Value, id int64) {
 	}
 }
 
+// BuildStats reports the work performed by one BuildFromSorted call.
+type BuildStats struct {
+	// Rows is the number of (key, rowID) pairs consumed.
+	Rows int
+	// Entries is the number of distinct keys stored.
+	Entries int
+	// NodesBuilt is the number of B-tree nodes constructed.
+	NodesBuilt int
+	// Height is the height of the finished tree.
+	Height int
+}
+
+// BuildFromSorted replaces the tree's contents with the (keys[i], rowIDs[i])
+// pairs, which the caller guarantees to be sorted ascending by (key, rowID).
+// Duplicate keys must be adjacent; their row ids accumulate into one entry in
+// input order, exactly as repeated Insert calls would leave them.
+//
+// The construction is the cheapest possible for a B-tree: leaves are packed
+// left to right from the sorted stream, separators are promoted to build each
+// internal level the same way, and no key comparison happens beyond the
+// adjacent-duplicate check — there is no per-row root-to-leaf descent at all,
+// which is what makes an end-of-load bulk rebuild (DB.Seal) cheaper than even
+// the leaf-aware InsertSorted path.  Nodes are packed full (2*degree-1
+// entries) except the rightmost node of each level, which keeps at least
+// degree-1 entries by borrowing from its left neighbour's share; the result
+// always satisfies CheckInvariants.
+func (t *BTree) BuildFromSorted(keys [][]Value, rowIDs []int64) BuildStats {
+	// Stored keys and initial row-id slices are carved from two arenas (one
+	// allocation each) instead of two allocations per entry; id sub-slices
+	// are full (len == cap), so a later append to an entry's rowIDs
+	// reallocates instead of overwriting a neighbour.
+	total := 0
+	for i := range keys {
+		total += len(keys[i])
+	}
+	keyArena := make([]Value, 0, total)
+	for i := range keys {
+		keyArena = append(keyArena, keys[i]...)
+	}
+	idArena := make([]int64, 0, len(rowIDs))
+	entries := make([]btreeEntry, 0, len(keys))
+	ki := 0
+	for i := range keys {
+		k := len(keys[i])
+		stored := keyArena[ki : ki+k : ki+k]
+		ki += k
+		if n := len(entries); n > 0 && CompareKeys(entries[n-1].key, stored) == 0 {
+			entries[n-1].rowIDs = append(entries[n-1].rowIDs, rowIDs[i])
+			continue
+		}
+		idArena = append(idArena, rowIDs[i])
+		entries = append(entries, btreeEntry{key: stored,
+			rowIDs: idArena[len(idArena)-1 : len(idArena) : len(idArena)]})
+	}
+	return t.buildFromEntries(entries, len(keys))
+}
+
+// buildFromEntries assembles the tree bottom-up from merged, sorted entries.
+func (t *BTree) buildFromEntries(entries []btreeEntry, rows int) BuildStats {
+	t.root = &btreeNode{}
+	t.nodes = 1
+	t.height = 1
+	t.splits = 0
+	t.size = len(entries)
+	st := BuildStats{Rows: rows, Entries: len(entries)}
+	if len(entries) == 0 {
+		st.NodesBuilt, st.Height = 1, 1
+		return st
+	}
+	level := entries
+	var children []*btreeNode // nil while building the leaf level
+	nodesBuilt := 0
+	height := 0
+	for {
+		height++
+		nodes, seps := t.chunkLevel(level, children)
+		nodesBuilt += len(nodes)
+		if len(seps) == 0 {
+			t.root = nodes[0]
+			break
+		}
+		level, children = seps, nodes
+	}
+	t.nodes = nodesBuilt
+	t.height = height
+	st.NodesBuilt, st.Height = nodesBuilt, height
+	return st
+}
+
+// chunkLevel packs one level's entries into nodes of at most 2*degree-1
+// entries, promoting one separator entry between consecutive nodes.  children
+// (nil for the leaf level) are distributed in order, one more per node than
+// its entry count.  The greedy fill shrinks the second-to-last node's take so
+// the final node never drops below degree-1 entries.
+func (t *BTree) chunkLevel(entries []btreeEntry, children []*btreeNode) (nodes []*btreeNode, seps []btreeEntry) {
+	maxE := 2*t.degree - 1
+	minE := t.degree - 1
+	n := len(entries)
+	nodeOf := func(es []btreeEntry, ch []*btreeNode) *btreeNode {
+		node := &btreeNode{entries: make([]btreeEntry, len(es))}
+		copy(node.entries, es)
+		if ch != nil {
+			node.children = make([]*btreeNode, len(ch))
+			copy(node.children, ch)
+		}
+		return node
+	}
+	if n <= maxE {
+		return []*btreeNode{nodeOf(entries, children)}, nil
+	}
+	i, ci := 0, 0
+	for {
+		remaining := n - i
+		if remaining <= maxE {
+			var ch []*btreeNode
+			if children != nil {
+				ch = children[ci:]
+			}
+			nodes = append(nodes, nodeOf(entries[i:], ch))
+			return nodes, seps
+		}
+		take := maxE
+		if remaining-take-1 < minE {
+			take = remaining - 1 - minE
+		}
+		var ch []*btreeNode
+		if children != nil {
+			ch = children[ci : ci+take+1]
+		}
+		nodes = append(nodes, nodeOf(entries[i:i+take], ch))
+		seps = append(seps, entries[i+take])
+		i += take + 1
+		ci += take + 1
+	}
+}
+
 // Search returns the row ids stored under key (nil if absent) and the number
 // of nodes visited.
 func (t *BTree) Search(key []Value) ([]int64, int) {

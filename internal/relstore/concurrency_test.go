@@ -20,7 +20,7 @@ func TestConcurrentInsertSharedTables(t *testing.T) {
 		rowsPerTxn   = 50
 		rollbackEach = 3 // every 3rd transaction rolls back
 	)
-	db, err := NewDB(testSchema(t), Config{MaxConcurrentTxns: writers, DirtyFlushPages: 8, CachePages: 64})
+	db, err := Open(testSchema(t), WithMaxConcurrentTxns(writers), WithDirtyFlushPages(8), WithCache(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestConcurrentInsertSharedTables(t *testing.T) {
 // queries with a writer on the same table; run under -race it guards the
 // reader/writer lock discipline of the query layer.
 func TestConcurrentReadersAndWriters(t *testing.T) {
-	db, err := NewDB(testSchema(t), Config{})
+	db, err := Open(testSchema(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 // TestScratchPoolReuse sanity-checks that scratches cycle through the pool
 // without cross-transaction contamination of encoded keys.
 func TestScratchPoolReuse(t *testing.T) {
-	db, err := NewDB(testSchema(t), Config{})
+	db, err := Open(testSchema(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestScratchPoolReuse(t *testing.T) {
 func BenchmarkConcurrentInsert(b *testing.B) {
 	for _, writers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
-			db, err := NewDB(testSchema(b), Config{MaxConcurrentTxns: writers})
+			db, err := Open(testSchema(b), WithMaxConcurrentTxns(writers))
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -75,6 +75,13 @@ type DBStats struct {
 	LogBytes             int64
 	IndexSplits          int64
 	LockConflicts        int64
+	// IndexesCreated/IndexesDropped count successful index DDL operations;
+	// IndexDDLFailures counts failed ones (unknown table/column, duplicate or
+	// missing index).  CreateIndexWith and DropIndex update them
+	// symmetrically.
+	IndexesCreated   int64
+	IndexesDropped   int64
+	IndexDDLFailures int64
 }
 
 // newDBStats returns a zeroed stats structure with the violation map ready.

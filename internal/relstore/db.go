@@ -23,6 +23,10 @@ type Config struct {
 	// database writer runs, searching the whole allocated cache (the §4.5.5
 	// effect); 0 uses the default of 32.
 	DirtyFlushPages int
+	// WALSyncBytes is the redo-log auto-sync threshold: once the unsynced
+	// tail exceeds it the log syncs without waiting for a commit.  0 (the
+	// default) syncs only at commit.  See WithWALSync.
+	WALSyncBytes int64
 }
 
 // DefaultConfig mirrors the production repository's loading configuration.
@@ -46,11 +50,19 @@ func DefaultConfig() Config {
 type DB struct {
 	schema *Schema
 	cfg    Config
+	// indexPolicy is the default maintenance policy applied by CreateIndex
+	// (see WithIndexPolicy); individual indexes may override it.
+	indexPolicy IndexPolicy
 
 	tables map[string]*Table
 	locks  *LockManager
 	wal    *WAL
 	cache  *BufferCache
+
+	// loading marks the window between BeginLoad and Seal, during which
+	// deferred-policy indexes are suspended.  Tables read it when an index is
+	// created mid-load (see Table.createIndex).
+	loading atomic.Bool
 
 	nextTxn  atomic.Int64
 	counters dbCounters
@@ -72,15 +84,21 @@ type dbCounters struct {
 	indexSplits   atomic.Int64
 	lockConflicts atomic.Int64
 
+	indexesCreated atomic.Int64
+	indexesDropped atomic.Int64
+	indexDDLFailed atomic.Int64
+
 	violMu     sync.Mutex
 	violations map[ConstraintKind]int64
 }
 
-// NewDB creates a database for the given schema.
-func NewDB(schema *Schema, cfg Config) (*DB, error) {
+// open builds the database from a resolved option set; Open and NewDB both
+// land here.
+func open(schema *Schema, oc openConfig) (*DB, error) {
 	if schema == nil {
 		return nil, fmt.Errorf("relstore: nil schema")
 	}
+	cfg := oc.cfg
 	if cfg.CachePages <= 0 {
 		cfg.CachePages = DefaultConfig().CachePages
 	}
@@ -91,17 +109,18 @@ func NewDB(schema *Schema, cfg Config) (*DB, error) {
 		cfg.DirtyFlushPages = DefaultConfig().DirtyFlushPages
 	}
 	db := &DB{
-		schema: schema,
-		cfg:    cfg,
-		tables: make(map[string]*Table, schema.NumTables()),
-		locks:  NewLockManager(cfg.MaxConcurrentTxns),
-		wal:    NewWAL(),
-		cache:  NewBufferCache(cfg.CachePages),
+		schema:      schema,
+		cfg:         cfg,
+		indexPolicy: oc.indexPolicy,
+		tables:      make(map[string]*Table, schema.NumTables()),
+		locks:       NewLockManager(cfg.MaxConcurrentTxns),
+		wal:         NewWAL(cfg.WALSyncBytes),
+		cache:       NewBufferCache(cfg.CachePages),
 	}
 	db.counters.violations = make(map[ConstraintKind]int64)
 	db.scratchPool.New = func() any { return new(scratch) }
 	for _, ts := range schema.Tables() {
-		t, err := newTable(ts, cfg.BTreeDegree)
+		t, err := newTable(ts, cfg.BTreeDegree, &db.loading)
 		if err != nil {
 			return nil, err
 		}
@@ -110,7 +129,18 @@ func NewDB(schema *Schema, cfg Config) (*DB, error) {
 	return db, nil
 }
 
+// NewDB creates a database for the given schema.
+//
+// Deprecated: use Open with functional options; NewDB(schema, cfg) is
+// equivalent to Open(schema, WithConfig(cfg)).  NewDB predates load policies
+// and cannot express them.
+func NewDB(schema *Schema, cfg Config) (*DB, error) {
+	return open(schema, openConfig{cfg: cfg, indexPolicy: IndexImmediate})
+}
+
 // MustNewDB is NewDB that panics on error.
+//
+// Deprecated: use MustOpen.
 func MustNewDB(schema *Schema, cfg Config) *DB {
 	db, err := NewDB(schema, cfg)
 	if err != nil {
@@ -142,15 +172,18 @@ func (db *DB) Cache() *BufferCache { return db.cache }
 // owning components rather than being re-derived on every insert.
 func (db *DB) Stats() DBStats {
 	out := DBStats{
-		RowsInserted:   db.counters.rowsInserted.Load(),
-		RowsRejected:   db.counters.rowsRejected.Load(),
-		Transactions:   db.counters.transactions.Load(),
-		Commits:        db.counters.commits.Load(),
-		Rollbacks:      db.counters.rollbacks.Load(),
-		IndexSplits:    db.counters.indexSplits.Load(),
-		LockConflicts:  db.counters.lockConflicts.Load(),
-		PagesAllocated: db.pagesAllocated(),
-		LogBytes:       db.wal.Stats().Bytes,
+		RowsInserted:     db.counters.rowsInserted.Load(),
+		RowsRejected:     db.counters.rowsRejected.Load(),
+		Transactions:     db.counters.transactions.Load(),
+		Commits:          db.counters.commits.Load(),
+		Rollbacks:        db.counters.rollbacks.Load(),
+		IndexSplits:      db.counters.indexSplits.Load(),
+		LockConflicts:    db.counters.lockConflicts.Load(),
+		IndexesCreated:   db.counters.indexesCreated.Load(),
+		IndexesDropped:   db.counters.indexesDropped.Load(),
+		IndexDDLFailures: db.counters.indexDDLFailed.Load(),
+		PagesAllocated:   db.pagesAllocated(),
+		LogBytes:         db.wal.Stats().Bytes,
 	}
 	db.counters.violMu.Lock()
 	out.ConstraintViolations = make(map[ConstraintKind]int64, len(db.counters.violations))
@@ -324,23 +357,56 @@ func (db *DB) pagesAllocated() int64 {
 	return n
 }
 
-// CreateIndex builds a secondary index on the named table.
+// CreateIndex builds a secondary index on the named table under the
+// database's default maintenance policy (see WithIndexPolicy).
 func (db *DB) CreateIndex(table, name string, columns []string, unique bool) (*Index, error) {
-	t, ok := db.tables[table]
-	if !ok {
-		return nil, ErrNoSuchTable
-	}
-	return t.createIndex(name, columns, unique)
+	return db.CreateIndexWith(table, name, columns, unique, db.indexPolicy)
 }
 
-// DropIndex removes a secondary index from the named table.
+// CreateIndexWith builds a secondary index with an explicit maintenance
+// policy, overriding the database default.  A deferred-policy index created
+// during a load phase (between BeginLoad and Seal) starts suspended and is
+// populated by Seal; otherwise it is backfilled immediately.
+//
+// Both CreateIndexWith and DropIndex update DBStats symmetrically: successes
+// bump IndexesCreated/IndexesDropped, every error path bumps
+// IndexDDLFailures, and both return typed errors (ErrNoSuchTable,
+// ErrIndexExists, ErrNoSuchIndex, ErrNoSuchColumn).
+func (db *DB) CreateIndexWith(table, name string, columns []string, unique bool, policy IndexPolicy) (*Index, error) {
+	t, ok := db.tables[table]
+	if !ok {
+		db.counters.indexDDLFailed.Add(1)
+		db.recordViolationKind(KindUnknownTable)
+		return nil, ErrNoSuchTable
+	}
+	ix, err := t.createIndex(name, columns, unique, policy)
+	if err != nil {
+		db.counters.indexDDLFailed.Add(1)
+		return nil, err
+	}
+	db.counters.indexesCreated.Add(1)
+	return ix, nil
+}
+
+// DropIndex removes a secondary index from the named table.  Its error paths
+// record the same statistics as CreateIndexWith's (see there).
 func (db *DB) DropIndex(table, name string) error {
 	t, ok := db.tables[table]
 	if !ok {
+		db.counters.indexDDLFailed.Add(1)
+		db.recordViolationKind(KindUnknownTable)
 		return ErrNoSuchTable
 	}
-	return t.dropIndex(name)
+	if err := t.dropIndex(name); err != nil {
+		db.counters.indexDDLFailed.Add(1)
+		return err
+	}
+	db.counters.indexesDropped.Add(1)
+	return nil
 }
+
+// IndexPolicyDefault returns the database's default index maintenance policy.
+func (db *DB) IndexPolicyDefault() IndexPolicy { return db.indexPolicy }
 
 // AllIndexes lists every secondary index in the database, sorted by table
 // then index name.

@@ -8,7 +8,7 @@ import (
 
 func newTestDB(t *testing.T) *DB {
 	t.Helper()
-	db, err := NewDB(testSchema(t), Config{})
+	db, err := Open(testSchema(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestTxnLifecycleErrors(t *testing.T) {
 }
 
 func TestConcurrentTxnLimit(t *testing.T) {
-	db, err := NewDB(testSchema(t), Config{MaxConcurrentTxns: 2})
+	db, err := Open(testSchema(t), WithMaxConcurrentTxns(2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,7 +30,7 @@ func epochSchema(t *testing.T) *Schema {
 }
 
 func TestCommitEpochAdvancesPerTouchedTable(t *testing.T) {
-	db := MustNewDB(epochSchema(t), Config{})
+	db := MustOpen(epochSchema(t))
 
 	if e := db.TableEpoch("parents"); e != 0 {
 		t.Fatalf("fresh table epoch = %d, want 0", e)
@@ -74,7 +74,7 @@ func TestCommitEpochAdvancesPerTouchedTable(t *testing.T) {
 }
 
 func TestRollbackBumpsEpoch(t *testing.T) {
-	db := MustNewDB(epochSchema(t), Config{})
+	db := MustOpen(epochSchema(t))
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +97,7 @@ func TestRollbackBumpsEpoch(t *testing.T) {
 }
 
 func TestFailedInsertLeavesTableClean(t *testing.T) {
-	db := MustNewDB(epochSchema(t), Config{})
+	db := MustOpen(epochSchema(t))
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +118,7 @@ func TestFailedInsertLeavesTableClean(t *testing.T) {
 }
 
 func TestSnapshotReadStability(t *testing.T) {
-	db := MustNewDB(epochSchema(t), Config{})
+	db := MustOpen(epochSchema(t))
 	txn, _ := db.Begin()
 	if _, err := txn.Insert("parents", []string{"id"}, []Value{Int(1)}); err != nil {
 		t.Fatal(err)
@@ -170,7 +170,7 @@ func TestSnapshotReadStability(t *testing.T) {
 // whenever a read reports stable, the row count it saw must equal a committed
 // transaction boundary (a multiple of the per-transaction batch).
 func TestSnapshotReadConcurrent(t *testing.T) {
-	db := MustNewDB(epochSchema(t), Config{MaxConcurrentTxns: 16})
+	db := MustOpen(epochSchema(t), WithMaxConcurrentTxns(16))
 	const (
 		writers  = 4
 		txnsEach = 50

@@ -112,3 +112,17 @@ var ErrNoSuchIndex = errors.New("relstore: no such index")
 
 // ErrIndexExists is returned when creating an index whose name is taken.
 var ErrIndexExists = errors.New("relstore: index already exists")
+
+// ErrNoSuchColumn is returned when index DDL references a column absent from
+// the table schema.
+var ErrNoSuchColumn = errors.New("relstore: no such column")
+
+// ErrLoadPhaseActive is returned by BeginLoad when a load phase is already
+// open (Seal has not been called for the previous BeginLoad).
+var ErrLoadPhaseActive = errors.New("relstore: load phase already active")
+
+// ErrIndexNotReady is returned by indexed reads on a suspended index — a
+// deferred-policy index between BeginLoad and Seal, which is missing the
+// rows loaded since the phase opened.  Callers should fall back to a scan
+// (check Index.Ready first, as internal/queries does).
+var ErrIndexNotReady = errors.New("relstore: index not ready (deferred build pending Seal)")

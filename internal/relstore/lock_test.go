@@ -166,7 +166,7 @@ func TestLockManagerAdmitWaitBlocks(t *testing.T) {
 // TestTxnIDsNeverReused pins the satellite fix for transaction-id reuse: an
 // id consumed by a failed admission must never be handed out again.
 func TestTxnIDsNeverReused(t *testing.T) {
-	db, err := NewDB(testSchema(t), Config{MaxConcurrentTxns: 1})
+	db, err := Open(testSchema(t), WithMaxConcurrentTxns(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestTxnIDsNeverReused(t *testing.T) {
 // TestTxnIDsUniqueConcurrent allocates transactions from many goroutines and
 // checks ids are globally unique even with admission failures interleaved.
 func TestTxnIDsUniqueConcurrent(t *testing.T) {
-	db, err := NewDB(testSchema(t), Config{MaxConcurrentTxns: 4})
+	db, err := Open(testSchema(t), WithMaxConcurrentTxns(4))
 	if err != nil {
 		t.Fatal(err)
 	}

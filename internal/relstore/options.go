@@ -1,0 +1,124 @@
+package relstore
+
+import "fmt"
+
+// IndexPolicy selects when a secondary index is maintained relative to a bulk
+// load.  It is the engine-level expression of the paper's biggest loading
+// lever (§4.5.1, Figure 8): dropping secondary indexes during loading and
+// rebuilding them afterwards beats maintaining them row by row, because a
+// bulk rebuild streams presorted keys into freshly packed B-tree leaves
+// instead of paying a root-to-leaf descent per row.
+type IndexPolicy int
+
+const (
+	// IndexImmediate maintains the index on every insert (the default, and
+	// the only behaviour the engine had before load policies existed).
+	IndexImmediate IndexPolicy = iota
+	// IndexDeferred suspends maintenance of the index between DB.BeginLoad
+	// and DB.Seal: inserts during the load phase skip it entirely, and Seal
+	// rebuilds it from the surviving heap rows in one presorted bulk pass
+	// (BTree.BuildFromSorted).  Outside a load phase a deferred-policy index
+	// behaves exactly like an immediate one.
+	IndexDeferred
+)
+
+// String names the policy.
+func (p IndexPolicy) String() string {
+	switch p {
+	case IndexImmediate:
+		return "immediate"
+	case IndexDeferred:
+		return "deferred"
+	default:
+		return fmt.Sprintf("IndexPolicy(%d)", int(p))
+	}
+}
+
+// ParseIndexPolicy parses the CLI/JSON spelling of an index policy.
+func ParseIndexPolicy(s string) (IndexPolicy, error) {
+	switch s {
+	case "", "immediate", "eager":
+		return IndexImmediate, nil
+	case "deferred", "bulk", "rebuild":
+		return IndexDeferred, nil
+	default:
+		return IndexImmediate, fmt.Errorf("relstore: unknown index policy %q (want immediate|deferred)", s)
+	}
+}
+
+// Option configures a database opened with Open.  Options subsume the fields
+// of the positional Config struct and add the load-lifecycle policies that
+// have no Config equivalent; new engine knobs are added here, not to Config.
+type Option func(*openConfig)
+
+// openConfig is the resolved option set.
+type openConfig struct {
+	cfg         Config
+	indexPolicy IndexPolicy
+}
+
+// WithConfig adopts a legacy Config wholesale.  It exists so NewDB callers
+// can migrate mechanically; new code should prefer the individual options.
+func WithConfig(cfg Config) Option {
+	return func(o *openConfig) { o.cfg = cfg }
+}
+
+// WithCache sets the block buffer cache size in pages (§4.5.5: a smaller
+// cache loads faster because the database writer scans the whole cache on
+// each flush).
+func WithCache(pages int) Option {
+	return func(o *openConfig) { o.cfg.CachePages = pages }
+}
+
+// WithMaxConcurrentTxns sets the concurrent-transaction limit; 0 means
+// unlimited.  Exceeding it produces lock waits at high parallelism (§5.4).
+func WithMaxConcurrentTxns(n int) Option {
+	return func(o *openConfig) { o.cfg.MaxConcurrentTxns = n }
+}
+
+// WithBTreeDegree sets the minimum degree of secondary-index B-trees.
+func WithBTreeDegree(degree int) Option {
+	return func(o *openConfig) { o.cfg.BTreeDegree = degree }
+}
+
+// WithDirtyFlushPages sets the number of newly dirtied pages after which the
+// database writer runs (§4.5.5); 0 uses the default of 32.
+func WithDirtyFlushPages(n int) Option {
+	return func(o *openConfig) { o.cfg.DirtyFlushPages = n }
+}
+
+// WithWALSync sets the redo-log auto-sync threshold in bytes: once the
+// unsynced tail of the log exceeds it, the log syncs without waiting for a
+// commit, bounding the redo volume a crash could lose and the volume a
+// commit must force (the §4.5.2 commit-frequency trade-off, decoupled from
+// transaction boundaries).  0 (the default) syncs only at commit, the
+// engine's historical behaviour.
+func WithWALSync(bytes int64) Option {
+	return func(o *openConfig) { o.cfg.WALSyncBytes = bytes }
+}
+
+// WithIndexPolicy sets the default maintenance policy for indexes created by
+// CreateIndex.  Individual indexes can override it via CreateIndexWith.
+func WithIndexPolicy(p IndexPolicy) Option {
+	return func(o *openConfig) { o.indexPolicy = p }
+}
+
+// Open creates a database for the given schema, configured by functional
+// options.  Zero-valued knobs fall back to DefaultConfig values.  Open is the
+// engine's constructor; NewDB remains as a deprecated positional wrapper.
+func Open(schema *Schema, opts ...Option) (*DB, error) {
+	oc := openConfig{indexPolicy: IndexImmediate}
+	for _, opt := range opts {
+		opt(&oc)
+	}
+	return open(schema, oc)
+}
+
+// MustOpen is Open that panics on error.
+func MustOpen(schema *Schema, opts ...Option) *DB {
+	db, err := Open(schema, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}

@@ -1,0 +1,125 @@
+package relstore
+
+import (
+	"fmt"
+	"math"
+)
+
+// Order-preserving key encoding: AppendOrderedKey renders a composite key as
+// a byte string whose bytes.Compare order equals CompareKeys order.  It is
+// groundwork for storing secondary-index keys as byte strings compared with
+// bytes.Compare instead of the per-element kind switch of CompareKeys (the
+// ROADMAP encoded-key item); nothing in the B-tree is wired to it yet.
+//
+// The existing AppendKey encoding is hash-only — "i-5" sorts after "i-40"
+// bytewise — so ordered access needs this second encoding:
+//
+//   - every value is prefixed with a tag byte; NULL's tag (0x00) is below
+//     every non-NULL tag, so NULLs sort first, matching CompareValues;
+//   - integers, timestamps and booleans encode as big-endian uint64 with the
+//     sign bit flipped, mapping int64 order onto lexicographic byte order;
+//   - floats encode their IEEE bits with a sign-magnitude fixup: positive
+//     values flip only the sign bit, negative values flip all bits, so
+//     -Inf < ... < 0 < ... < +Inf is ordered bytewise; -0.0 is canonicalized
+//     to +0.0 first, matching CompareValues, which orders them equal;
+//   - strings escape 0x00 as 0x00 0xFF and terminate with 0x00 0x00, so a
+//     prefix sorts before its extensions and embedded NULs cannot collide
+//     with the terminator.
+//
+// Like CompareValues, the encoding is only defined for comparable keys: the
+// values at each position of the two keys must have the same kind (or be
+// NULL), which the table layer guarantees by coercing to the column type
+// before storage.
+
+// Tag bytes.  NULL must be the smallest; the non-NULL tags only need to be
+// consistent per kind, since comparable keys agree on kinds positionally.
+const (
+	ordTagNull   = 0x00
+	ordTagInt    = 0x01
+	ordTagFloat  = 0x02
+	ordTagString = 0x03
+	ordTagTime   = 0x04
+	ordTagBool   = 0x05
+)
+
+// AppendOrderedKey appends the order-preserving encoding of a composite key
+// to dst and returns the extended buffer.  For any two keys a, b that
+// CompareKeys accepts (same kinds positionally, up to NULLs),
+//
+//	sign(bytes.Compare(AppendOrderedKey(nil, a), AppendOrderedKey(nil, b)))
+//	    == sign(CompareKeys(a, b))
+//
+// NaN values are rejected with a panic: CompareKeys orders a NaN equal to
+// everything (the < operator is false both ways), which no total byte order
+// can reproduce, and NaN never reaches an index anyway (the catalog
+// transformer filters non-finite photometry during validation).
+func AppendOrderedKey(dst []byte, vals []Value) []byte {
+	for _, v := range vals {
+		dst = appendOrderedValue(dst, v)
+	}
+	return dst
+}
+
+// EncodeOrderedKey is the allocating convenience form of AppendOrderedKey.
+func EncodeOrderedKey(vals []Value) []byte {
+	return AppendOrderedKey(nil, vals)
+}
+
+func appendOrderedValue(dst []byte, v Value) []byte {
+	switch v.Kind {
+	case KindNull:
+		return append(dst, ordTagNull)
+	case KindInt:
+		dst = append(dst, ordTagInt)
+		return appendOrderedInt64(dst, v.I)
+	case KindTime:
+		dst = append(dst, ordTagTime)
+		return appendOrderedInt64(dst, v.I)
+	case KindBool:
+		dst = append(dst, ordTagBool)
+		if v.I != 0 {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	case KindFloat:
+		if math.IsNaN(v.F) {
+			panic("relstore: cannot order-encode NaN")
+		}
+		dst = append(dst, ordTagFloat)
+		f := v.F
+		if f == 0 {
+			f = 0 // canonicalize -0.0 to +0.0: CompareValues orders them equal
+		}
+		bits := math.Float64bits(f)
+		if bits&(1<<63) != 0 {
+			bits = ^bits // negative: flip everything, reversing magnitude order
+		} else {
+			bits |= 1 << 63 // positive: flip the sign bit above all negatives
+		}
+		return appendOrderedUint64(dst, bits)
+	case KindString:
+		dst = append(dst, ordTagString)
+		for i := 0; i < len(v.S); i++ {
+			if v.S[i] == 0x00 {
+				dst = append(dst, 0x00, 0xFF)
+			} else {
+				dst = append(dst, v.S[i])
+			}
+		}
+		return append(dst, 0x00, 0x00)
+	default:
+		panic(fmt.Sprintf("relstore: cannot order-encode value of kind %s", v.Kind))
+	}
+}
+
+// appendOrderedInt64 encodes x big-endian with the sign bit flipped, so the
+// int64 order maps onto unsigned lexicographic byte order.
+func appendOrderedInt64(dst []byte, x int64) []byte {
+	return appendOrderedUint64(dst, uint64(x)^(1<<63))
+}
+
+func appendOrderedUint64(dst []byte, u uint64) []byte {
+	return append(dst,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}

@@ -1,0 +1,178 @@
+package relstore
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// sign normalizes a comparison result to -1/0/1.
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	}
+	return 0
+}
+
+// ordKeyShapes are the column-kind layouts the property test draws keys
+// from: the htmid shape, the composite float shape, and mixed layouts with
+// every encodable kind.
+var ordKeyShapes = [][]ValueKind{
+	{KindInt},
+	{KindFloat, KindFloat, KindFloat},
+	{KindString, KindInt},
+	{KindInt, KindString, KindFloat},
+	{KindTime, KindBool},
+	{KindString},
+}
+
+// randOrderedValue draws a value of the given kind (or NULL), biased toward
+// boundary cases that stress the sign-flip and escaping rules.
+func randOrderedValue(r *rand.Rand, kind ValueKind) Value {
+	if r.Intn(8) == 0 {
+		return Null
+	}
+	switch kind {
+	case KindInt:
+		switch r.Intn(4) {
+		case 0:
+			return Int(r.Int63() - r.Int63())
+		case 1:
+			return Int([]int64{math.MinInt64, math.MaxInt64, -1, 0, 1}[r.Intn(5)])
+		default:
+			return Int(int64(r.Intn(64)) - 32)
+		}
+	case KindFloat:
+		switch r.Intn(4) {
+		case 0:
+			return Float(r.NormFloat64() * math.Pow(10, float64(r.Intn(40)-20)))
+		case 1:
+			return Float([]float64{math.Inf(-1), math.Inf(1), 0, math.Copysign(0, -1),
+				-math.MaxFloat64, math.MaxFloat64, math.SmallestNonzeroFloat64}[r.Intn(7)])
+		default:
+			return Float(float64(r.Intn(16)-8) / 4)
+		}
+	case KindString:
+		n := r.Intn(6)
+		b := make([]byte, n)
+		for i := range b {
+			// Bias toward 0x00/0x01/0xFF, the escaping edge cases.
+			b[i] = []byte{0x00, 0x00, 0x01, 0xFF, 'a', 'b', 'z'}[r.Intn(7)]
+		}
+		return Str(string(b))
+	case KindTime:
+		return Value{Kind: KindTime, I: r.Int63() - r.Int63()}
+	case KindBool:
+		return Bool(r.Intn(2) == 1)
+	}
+	return Null
+}
+
+// TestOrderedKeyMatchesCompareKeys is the satellite property: for random
+// same-shape keys, bytes.Compare over AppendOrderedKey encodings orders
+// exactly like CompareKeys.
+func TestOrderedKeyMatchesCompareKeys(t *testing.T) {
+	r := rand.New(rand.NewSource(20050711))
+	prop := func() bool {
+		shape := ordKeyShapes[r.Intn(len(ordKeyShapes))]
+		a := make([]Value, len(shape))
+		b := make([]Value, len(shape))
+		for i, k := range shape {
+			a[i] = randOrderedValue(r, k)
+			b[i] = randOrderedValue(r, k)
+		}
+		if r.Intn(8) == 0 {
+			copy(b, a) // force equal keys often enough to test the 0 case
+		}
+		ea := AppendOrderedKey(nil, a)
+		eb := AppendOrderedKey(nil, b)
+		return sign(bytes.Compare(ea, eb)) == sign(CompareKeys(a, b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrderedKeyPrefix checks the composite-key prefix rule: a key that is a
+// strict prefix of another sorts first under both comparators.
+func TestOrderedKeyPrefix(t *testing.T) {
+	long := []Value{Str("abc"), Int(7), Float(1.5)}
+	for cut := 0; cut < len(long); cut++ {
+		short := long[:cut]
+		if got := sign(bytes.Compare(EncodeOrderedKey(short), EncodeOrderedKey(long))); got != -1 {
+			t.Fatalf("prefix of length %d: bytes.Compare sign = %d, want -1", cut, got)
+		}
+		if got := sign(CompareKeys(short, long)); got != -1 {
+			t.Fatalf("prefix of length %d: CompareKeys sign = %d, want -1", cut, got)
+		}
+	}
+}
+
+// TestOrderedKeySortedSequences encodes hand-picked ascending sequences per
+// kind and checks both that the encodings ascend and that sorting encodings
+// recovers CompareKeys order.
+func TestOrderedKeySortedSequences(t *testing.T) {
+	sequences := [][]Value{
+		{Null, Int(math.MinInt64), Int(-1000), Int(-1), Int(0), Int(1), Int(42), Int(math.MaxInt64)},
+		{Null, Float(math.Inf(-1)), Float(-1e300), Float(-1.5), Float(-math.SmallestNonzeroFloat64),
+			Float(0), Float(math.SmallestNonzeroFloat64), Float(2.5), Float(1e300), Float(math.Inf(1))},
+		{Null, Str(""), Str("\x00"), Str("\x00\x00"), Str("\x01"), Str("a"), Str("a\x00"), Str("a\x00b"), Str("ab"), Str("b")},
+		{Null, Value{Kind: KindTime, I: -5}, Value{Kind: KindTime, I: 0}, Value{Kind: KindTime, I: 5}},
+		{Null, Bool(false), Bool(true)},
+	}
+	for si, seq := range sequences {
+		for i := 1; i < len(seq); i++ {
+			a, b := []Value{seq[i-1]}, []Value{seq[i]}
+			if c := CompareKeys(a, b); c >= 0 {
+				t.Fatalf("sequence %d not ascending under CompareKeys at %d", si, i)
+			}
+			if c := bytes.Compare(EncodeOrderedKey(a), EncodeOrderedKey(b)); c >= 0 {
+				t.Fatalf("sequence %d not ascending under encoded compare at %d: %v vs %v",
+					si, i, seq[i-1], seq[i])
+			}
+		}
+	}
+}
+
+// TestOrderedKeySortAgreement shuffles a key set, sorts it once with
+// CompareKeys and once bytewise, and requires identical order.
+func TestOrderedKeySortAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	keys := make([][]Value, 300)
+	shape := []ValueKind{KindFloat, KindInt, KindString}
+	for i := range keys {
+		k := make([]Value, len(shape))
+		for j, kind := range shape {
+			k[j] = randOrderedValue(r, kind)
+		}
+		keys[i] = k
+	}
+	byCompare := append([][]Value{}, keys...)
+	sort.SliceStable(byCompare, func(i, j int) bool { return CompareKeys(byCompare[i], byCompare[j]) < 0 })
+	byBytes := append([][]Value{}, keys...)
+	sort.SliceStable(byBytes, func(i, j int) bool {
+		return bytes.Compare(EncodeOrderedKey(byBytes[i]), EncodeOrderedKey(byBytes[j])) < 0
+	})
+	for i := range byCompare {
+		if CompareKeys(byCompare[i], byBytes[i]) != 0 {
+			t.Fatalf("order diverges at position %d: %v vs %v", i, byCompare[i], byBytes[i])
+		}
+	}
+}
+
+// TestOrderedKeyNaNPanics pins the NaN stance: encoding must refuse rather
+// than silently break the total order.
+func TestOrderedKeyNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic encoding NaN")
+		}
+	}()
+	AppendOrderedKey(nil, []Value{Float(math.NaN())})
+}

@@ -142,6 +142,9 @@ func (db *DB) SelectEqualIndexed(table, index string, key []Value) ([]Row, int, 
 	if ix == nil {
 		return nil, 0, ErrNoSuchIndex
 	}
+	if !ix.Ready() {
+		return nil, 0, ErrIndexNotReady
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	ids, visited := ix.tree.Search(key)
@@ -164,6 +167,9 @@ func (db *DB) RangeIndexed(table, index string, from, to []Value, limit int) ([]
 	ix := t.Index(index)
 	if ix == nil {
 		return nil, ErrNoSuchIndex
+	}
+	if !ix.Ready() {
+		return nil, ErrIndexNotReady
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()

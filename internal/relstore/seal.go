@@ -1,0 +1,351 @@
+package relstore
+
+import (
+	"math"
+	"slices"
+)
+
+// This file implements the load lifecycle around deferred index maintenance,
+// the engine-level form of the paper's Figure 8 tuning: drop secondary
+// indexes while loading, rebuild them in bulk afterwards.
+//
+//	db.BeginLoad()          // suspend every deferred-policy index
+//	... bulk ingest ...     // inserts skip suspended indexes entirely
+//	rep, err := db.Seal()   // rebuild each suspended index from the heap
+//
+// Ownership rules (enforced by documentation, checked where cheap):
+//
+//   - BeginLoad must be called with no transaction in flight that has already
+//     inserted rows: rows indexed before suspension and rolled back after it
+//     would leave stale index entries behind, because rollback skips
+//     suspended indexes.
+//   - Seal is called once, by the load coordinator, after every loader
+//     transaction has committed or rolled back.  It takes each table's write
+//     lock for the duration of that table's rebuilds, so concurrent readers
+//     block per table and writers queue; it never observes a torn index.
+//   - Between BeginLoad and Seal a suspended index reports Ready() == false
+//     and is missing every row loaded since the phase opened; query planners
+//     must fall back to a scan (internal/queries does).
+//
+// Seal rebuilds from the live heap only, so a batch rolled back mid-load
+// leaves the sealed index identical to one maintained immediately over the
+// surviving rows (see TestSealAfterRollback).
+
+// IndexBuildReport describes the bulk rebuild of one index by Seal.
+type IndexBuildReport struct {
+	Table string
+	Index string
+	// Rows is the number of (key, row) pairs streamed into the build.
+	Rows int
+	// DistinctKeys is the number of distinct keys stored.
+	DistinctKeys int
+	// NodesBuilt is the number of B-tree nodes constructed.
+	NodesBuilt int
+	// Height is the height of the finished tree.
+	Height int
+	// EntryBytes is the index-entry volume written (same accounting as
+	// OpReport.IndexEntryBytes).
+	EntryBytes int
+	// IntCols and FloatCols are the index's integer-kinded and float key
+	// column counts, the cost classes the DES model charges per node (the
+	// same classes that price immediate maintenance, so virtual-time
+	// comparisons of the two policies answer the same question).
+	IntCols   int
+	FloatCols int
+}
+
+// SealReport aggregates the work performed by one Seal call.
+type SealReport struct {
+	// Indexes reports each rebuilt index, ordered by table then index name.
+	Indexes []IndexBuildReport
+	// RowsStreamed, NodesBuilt and EntryBytes are totals over Indexes.
+	RowsStreamed int
+	NodesBuilt   int
+	EntryBytes   int
+}
+
+// Sealed reports whether the call rebuilt anything.
+func (r SealReport) Sealed() bool { return len(r.Indexes) > 0 }
+
+// BeginLoad opens a load phase: every index whose policy is IndexDeferred is
+// suspended, so subsequent inserts skip it, until Seal rebuilds it.  Indexes
+// with the immediate policy are unaffected.  It returns ErrLoadPhaseActive
+// if a load phase is already open.
+func (db *DB) BeginLoad() error {
+	if !db.loading.CompareAndSwap(false, true) {
+		return ErrLoadPhaseActive
+	}
+	for _, name := range db.schema.TableNames() {
+		t := db.tables[name]
+		t.mu.Lock()
+		changed := false
+		for _, ix := range t.indexList {
+			if ix.policy == IndexDeferred && !ix.suspended.Load() {
+				ix.suspended.Store(true)
+				changed = true
+			}
+		}
+		if changed {
+			t.rebuildIndexList()
+		}
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// InLoadPhase reports whether a load phase is open (BeginLoad called, Seal
+// not yet).
+func (db *DB) InLoadPhase() bool { return db.loading.Load() }
+
+// Seal closes the load phase: every suspended index is rebuilt from the live
+// heap rows in one presorted bulk pass (BTree.BuildFromSorted) and normal
+// maintenance resumes.  Tables are processed in schema name order, each under
+// its write lock.  Seal is idempotent — with no load phase open and nothing
+// suspended it returns an empty report.
+func (db *DB) Seal() (SealReport, error) {
+	// The load-phase flag drops before any table lock is taken.  Order
+	// matters for a concurrent CreateIndexWith(..., IndexDeferred): its
+	// mid-load check runs under the table lock, so once this store is
+	// visible a new deferred index backfills immediately instead of
+	// starting suspended — were the flag cleared after the per-table
+	// sweeps, an index created on an already-swept table would stay
+	// suspended forever with no later Seal to rebuild it.  An index that
+	// instead wins its table's lock before the sweep starts suspended and
+	// the sweep rebuilds it; either way nothing is left un-ready.
+	db.loading.Store(false)
+	var rep SealReport
+	for _, name := range db.schema.TableNames() {
+		db.tables[name].sealIndexes(&rep)
+	}
+	for i := range rep.Indexes {
+		rep.RowsStreamed += rep.Indexes[i].Rows
+		rep.NodesBuilt += rep.Indexes[i].NodesBuilt
+		rep.EntryBytes += rep.Indexes[i].EntryBytes
+	}
+	return rep, nil
+}
+
+// sealIndexes rebuilds every suspended index of the table under one
+// write-lock hold.
+func (t *Table) sealIndexes(rep *SealReport) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var suspended []*Index
+	for _, ix := range t.indexList {
+		if ix.suspended.Load() {
+			suspended = append(suspended, ix)
+		}
+	}
+	if len(suspended) == 0 {
+		return
+	}
+	for _, ix := range suspended {
+		rep.Indexes = append(rep.Indexes, t.rebuildIndexLocked(ix))
+		ix.suspended.Store(false)
+	}
+	t.rebuildIndexList()
+}
+
+// scanRowsByID visits every live row in row-id order; t.mu must be held.
+// Unlike a heap scan plus a location→id inversion map, the row directory is
+// indexed by id already, so the seal path reads (id, row) pairs with two
+// array lookups per row and no per-table map.
+func (t *Table) scanRowsByID(visit func(id int64, r Row)) {
+	for id, loc := range t.rows.locs {
+		if loc.pageIdx < 0 {
+			continue
+		}
+		if r := t.heap.get(loc); r != nil {
+			visit(int64(id), r)
+		}
+	}
+}
+
+// rebuildIndexLocked collects the table's live (key, row id) pairs for the
+// index, sorts them by (key, id), and replaces the index's tree with a fresh
+// bulk-built one; t.mu must be write-held.  Single-column integer-kinded
+// indexes (the htmid shape) take a raw-int64 fast path mirroring the batch
+// path's bulkIndexInsertInt64: extract payloads, pair-sort without a
+// comparator, build directly.
+func (t *Table) rebuildIndexLocked(ix *Index) IndexBuildReport {
+	rep := IndexBuildReport{
+		Table: t.schema.Name, Index: ix.Name,
+		IntCols: ix.otherCols, FloatCols: ix.floatCols,
+	}
+	if ix.int64Keyed && t.rebuildIndexInt64Locked(ix, &rep) {
+		return rep
+	}
+	k := len(ix.colIdxs)
+	n := int(t.heap.rowCount)
+	karena := make([]Value, 0, n*k)
+	kvs := make([]idxKV, 0, n)
+	sorted := true
+	t.scanRowsByID(func(id int64, r Row) {
+		start := len(karena)
+		for _, c := range ix.colIdxs {
+			karena = append(karena, r[c])
+			rep.EntryBytes += ValueSize(r[c])
+		}
+		rep.EntryBytes += 8 // row id pointer
+		key := karena[start : start+k : start+k]
+		if sorted && len(kvs) > 0 && CompareKeys(kvs[len(kvs)-1].key, key) > 0 {
+			sorted = false
+		}
+		kvs = append(kvs, idxKV{key: key, id: id})
+	})
+	if !sorted {
+		// Heap order is insertion order, so ids ascend within equal keys and
+		// the id tie-break reproduces per-row insertion order.
+		if !(ix.firstColFloat && sortKVsByFloatSurrogate(kvs)) {
+			if ix.firstColFloat {
+				slices.SortFunc(kvs, cmpKVFloatFirst)
+			} else {
+				slices.SortFunc(kvs, cmpKV)
+			}
+		}
+	}
+	tree := NewBTree(t.btreeDegree)
+	st := tree.buildFromKVs(kvs)
+	ix.tree = tree
+	rep.Rows = st.Rows
+	rep.DistinctKeys = st.Entries
+	rep.NodesBuilt = st.NodesBuilt
+	rep.Height = st.Height
+	return rep
+}
+
+// sortKVsByFloatSurrogate sorts kvs for a float-leading composite index by
+// mapping each leading float onto an order-preserving int64 surrogate (the
+// sign-magnitude bit fixup of AppendOrderedKey) and running the raw int64
+// pair sort on (surrogate, position): for a seal-sized key set that beats a
+// generic comparator sort by a wide margin, because the n·log n hot loop
+// compares machine words instead of walking []Value.  Positions ascend with
+// row id, so surrogate ties come out in id order; runs of equal surrogates
+// (equal leading floats) are then re-sorted with the full comparator to
+// order the remaining columns.  Returns false — having done nothing — when a
+// NULL or NaN leading key requires the comparator path.
+func sortKVsByFloatSurrogate(kvs []idxKV) bool {
+	n := len(kvs)
+	ks := make([]int64, n)
+	pos := make([]int64, n)
+	for i := range kvs {
+		v := kvs[i].key[0]
+		if v.Kind != KindFloat || math.IsNaN(v.F) {
+			return false
+		}
+		f := v.F
+		if f == 0 {
+			f = 0 // canonicalize -0.0: CompareValues orders it equal to +0.0
+		}
+		bits := math.Float64bits(f)
+		if bits&(1<<63) != 0 {
+			bits = ^bits
+		} else {
+			bits |= 1 << 63
+		}
+		ks[i] = int64(bits ^ (1 << 63))
+		pos[i] = int64(i)
+	}
+	sortInt64Pairs(ks, pos)
+	out := make([]idxKV, n)
+	for i := range pos {
+		out[i] = kvs[pos[i]]
+	}
+	copy(kvs, out)
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && ks[j] == ks[i] {
+			j++
+		}
+		if j-i > 1 {
+			slices.SortFunc(kvs[i:j], cmpKV)
+		}
+		i = j
+	}
+	return true
+}
+
+// rebuildIndexInt64Locked is rebuildIndexLocked for single-column
+// integer-kinded indexes with no NULL keys: raw int64 extraction, the
+// specialized pair sort, and a direct bulk build of one-element keys carved
+// from a flat arena.  It reports false — having done nothing — when a NULL
+// key means the generic path must handle the rebuild.
+func (t *Table) rebuildIndexInt64Locked(ix *Index, rep *IndexBuildReport) bool {
+	c := ix.colIdxs[0]
+	n := int(t.heap.rowCount)
+	ks := make([]int64, 0, n)
+	vs := make([]int64, 0, n)
+	sorted := true
+	null := false
+	t.scanRowsByID(func(id int64, r Row) {
+		if null {
+			return
+		}
+		v := r[c]
+		if v.Kind == KindNull {
+			null = true
+			return
+		}
+		if sorted && len(ks) > 0 && ks[len(ks)-1] > v.I {
+			sorted = false
+		}
+		ks = append(ks, v.I)
+		vs = append(vs, id)
+	})
+	if null {
+		return false
+	}
+	if !sorted {
+		// Row-id order is insertion order, so ids ascend within equal keys.
+		sortInt64Pairs(ks, vs)
+	}
+	rep.EntryBytes += len(ks) * (ValueSize(Value{Kind: ix.keyKind}) + 8)
+
+	// Build entries straight from the raw keys: adjacent duplicates merge on
+	// an int64 compare, stored keys are carved from one flat arena, and the
+	// initial one-id slices are full-cap sub-slices of a second arena.
+	karena := make([]Value, 0, len(ks))
+	idArena := make([]int64, 0, len(ks))
+	entries := make([]btreeEntry, 0, len(ks))
+	for i := range ks {
+		if n := len(entries); n > 0 && karena[len(karena)-1].I == ks[i] {
+			entries[n-1].rowIDs = append(entries[n-1].rowIDs, vs[i])
+			continue
+		}
+		karena = append(karena, Value{Kind: ix.keyKind, I: ks[i]})
+		idArena = append(idArena, vs[i])
+		entries = append(entries, btreeEntry{
+			key:    karena[len(karena)-1 : len(karena) : len(karena)],
+			rowIDs: idArena[len(idArena)-1 : len(idArena) : len(idArena)],
+		})
+	}
+	tree := NewBTree(t.btreeDegree)
+	st := tree.buildFromEntries(entries, len(ks))
+	ix.tree = tree
+	rep.Rows = st.Rows
+	rep.DistinctKeys = st.Entries
+	rep.NodesBuilt = st.NodesBuilt
+	rep.Height = st.Height
+	return true
+}
+
+// buildFromKVs is BuildFromSorted over idxKV pairs (the seal path's layout).
+// Unlike the exported entry point it does not clone keys: rebuildIndexLocked
+// allocates a fresh key arena per rebuild and never reuses it, so the tree
+// may retain the kv key slices directly.  Initial row-id slices are carved
+// full (len == cap) from one arena, so later appends reallocate instead of
+// overwriting a neighbour.
+func (t *BTree) buildFromKVs(kvs []idxKV) BuildStats {
+	idArena := make([]int64, 0, len(kvs))
+	entries := make([]btreeEntry, 0, len(kvs))
+	for i := range kvs {
+		if n := len(entries); n > 0 && CompareKeys(entries[n-1].key, kvs[i].key) == 0 {
+			entries[n-1].rowIDs = append(entries[n-1].rowIDs, kvs[i].id)
+			continue
+		}
+		idArena = append(idArena, kvs[i].id)
+		entries = append(entries, btreeEntry{key: kvs[i].key,
+			rowIDs: idArena[len(idArena)-1 : len(idArena) : len(idArena)]})
+	}
+	return t.buildFromEntries(entries, len(kvs))
+}

@@ -32,10 +32,27 @@ type Index struct {
 	int64Keyed    bool
 	keyKind       ValueKind
 	firstColFloat bool
+
+	// policy is the index's maintenance policy (see IndexPolicy).  suspended
+	// marks a deferred-policy index whose maintenance is currently paused by
+	// an open load phase: insert and rollback paths skip it and Seal rebuilds
+	// it from the heap.  It is an atomic because query-side readers check
+	// Ready without taking the table lock.
+	policy    IndexPolicy
+	suspended atomic.Bool
 }
 
 // Tree exposes the underlying B-tree (read-only use by tests and queries).
 func (ix *Index) Tree() *BTree { return ix.tree }
+
+// Policy returns the index's maintenance policy.
+func (ix *Index) Policy() IndexPolicy { return ix.policy }
+
+// Ready reports whether the index is complete and safe to answer queries
+// from.  It is false for a deferred-policy index between BeginLoad and Seal,
+// when the index is missing the rows loaded so far; query planners should
+// fall back to a scan while it is false.
+func (ix *Index) Ready() bool { return !ix.suspended.Load() }
 
 // rowDir maps row ids to heap locations.  Ids are allocated densely
 // (t.nextRow++, one append per insert), so a slice indexed by id replaces the
@@ -101,9 +118,16 @@ type Table struct {
 	indexes map[string]*Index
 	// indexList is the name-sorted snapshot of indexes, rebuilt eagerly on
 	// create/drop so readers and the insert path never mutate it in place.
+	// liveList is the subset currently maintained on insert/rollback: it
+	// excludes suspended (deferred, mid-load) indexes and is rebuilt together
+	// with indexList on create/drop/suspend/seal.
 	indexList []*Index
+	liveList  []*Index
 
 	btreeDegree int
+	// loading points at the owning DB's load-phase flag, read when an index
+	// is created mid-load (a deferred index created then starts suspended).
+	loading *atomic.Bool
 
 	// prePopulatedBytes models rows that "already exist" in the table from
 	// earlier loading sessions without materializing them (Figure 9 sweeps
@@ -126,7 +150,7 @@ type Table struct {
 	pendingRows atomic.Int64
 }
 
-func newTable(schema *TableSchema, btreeDegree int) (*Table, error) {
+func newTable(schema *TableSchema, btreeDegree int, loading *atomic.Bool) (*Table, error) {
 	t := &Table{
 		schema:      schema,
 		heap:        newHeapStore(),
@@ -134,6 +158,7 @@ func newTable(schema *TableSchema, btreeDegree int) (*Table, error) {
 		indexes:     make(map[string]*Index),
 		indexList:   []*Index{},
 		btreeDegree: btreeDegree,
+		loading:     loading,
 	}
 	for _, c := range schema.PrimaryKey {
 		idx := schema.ColumnIndex(c)
@@ -218,7 +243,8 @@ func (t *Table) Indexes() []*Index {
 	return t.indexList
 }
 
-// rebuildIndexList refreshes the sorted snapshot; t.mu must be write-held.
+// rebuildIndexList refreshes the sorted snapshots (all indexes and the
+// currently maintained subset); t.mu must be write-held.
 func (t *Table) rebuildIndexList() {
 	out := make([]*Index, 0, len(t.indexes))
 	for _, ix := range t.indexes {
@@ -226,6 +252,13 @@ func (t *Table) rebuildIndexList() {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	t.indexList = out
+	live := make([]*Index, 0, len(out))
+	for _, ix := range out {
+		if !ix.suspended.Load() {
+			live = append(live, ix)
+		}
+	}
+	t.liveList = live
 }
 
 // CommitEpoch returns the table's commit epoch: the number of transactions
@@ -378,7 +411,7 @@ func (t *Table) insertPrepared(sc *scratch, row Row) (int64, rowLoc, OpReport, e
 		rep.CacheMisses++ // a fresh block is always a cache miss
 	}
 
-	for _, ix := range t.indexList {
+	for _, ix := range t.liveList {
 		key := sc.keyOf(row, ix.colIdxs)
 		st := ix.tree.Insert(key, id)
 		rep.IndexNodesVisited += st.NodesVisited
@@ -409,7 +442,10 @@ func (t *Table) deleteRow(sc *scratch, id int64) {
 	for i, cols := range t.uniqueCols {
 		delete(t.uniqueMaps[i], string(sc.encodeKey(sc.keyOf(row, cols))))
 	}
-	for _, ix := range t.indexList {
+	// Suspended indexes hold no entries for rows inserted during the load
+	// phase, so rollback skips them; Seal later rebuilds from the surviving
+	// heap rows only.
+	for _, ix := range t.liveList {
 		ix.tree.Delete(sc.keyOf(row, ix.colIdxs), id)
 	}
 	t.heap.markDeleted(loc)
@@ -454,19 +490,21 @@ func (t *Table) getRowLocked(id int64) Row {
 }
 
 // createIndex builds a secondary index over the named columns, populating it
-// from existing rows.  It returns the populated index.
-func (t *Table) createIndex(name string, columns []string, unique bool) (*Index, error) {
+// from existing rows.  It returns the populated index.  A deferred-policy
+// index created while a load phase is open starts suspended with an empty
+// tree: Seal populates it, so the backfill pass is skipped.
+func (t *Table) createIndex(name string, columns []string, unique bool, policy IndexPolicy) (*Index, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, exists := t.indexes[name]; exists {
 		return nil, ErrIndexExists
 	}
 	ix := &Index{Name: name, Table: t.schema.Name, Columns: columns, Unique: unique,
-		tree: NewBTree(t.btreeDegree)}
+		policy: policy, tree: NewBTree(t.btreeDegree)}
 	for _, c := range columns {
 		idx := t.schema.ColumnIndex(c)
 		if idx < 0 {
-			return nil, fmt.Errorf("relstore: index %q references unknown column %q", name, c)
+			return nil, fmt.Errorf("relstore: index %q references column %q: %w", name, c, ErrNoSuchColumn)
 		}
 		ix.colIdxs = append(ix.colIdxs, idx)
 		if t.schema.Columns[idx].Type == TypeFloat {
@@ -485,17 +523,15 @@ func (t *Table) createIndex(name string, columns []string, unique bool) (*Index,
 	case TypeFloat:
 		ix.firstColFloat = true
 	}
-	// Backfill in one heap pass.  Heap scan positions do not match table row
-	// ids when rollbacks occurred, so invert the row directory once instead
-	// of re-deriving each id through a primary-key encoding.
-	if t.heap.rowCount > 0 {
+	if policy == IndexDeferred && t.loading != nil && t.loading.Load() {
+		// Mid-load creation of a deferred index: no backfill, Seal builds it.
+		ix.suspended.Store(true)
+	} else if t.heap.rowCount > 0 {
+		// Backfill in one heap pass.  Heap scan positions do not match table
+		// row ids when rollbacks occurred, so invert the row directory once
+		// instead of re-deriving each id through a primary-key encoding.
 		var sc scratch
-		idByLoc := make(map[rowLoc]int64, t.rows.live)
-		for id, loc := range t.rows.locs {
-			if loc.pageIdx >= 0 {
-				idByLoc[loc] = int64(id)
-			}
-		}
+		idByLoc := t.idByLocLocked()
 		t.heap.scanLoc(func(loc rowLoc, r Row) bool {
 			ix.tree.Insert(sc.keyOf(r, ix.colIdxs), idByLoc[loc])
 			return true
@@ -504,6 +540,18 @@ func (t *Table) createIndex(name string, columns []string, unique bool) (*Index,
 	t.indexes[name] = ix
 	t.rebuildIndexList()
 	return ix, nil
+}
+
+// idByLocLocked inverts the row directory (heap location -> row id) for
+// index backfills and bulk rebuilds; t.mu must be held.
+func (t *Table) idByLocLocked() map[rowLoc]int64 {
+	idByLoc := make(map[rowLoc]int64, t.rows.live)
+	for id, loc := range t.rows.locs {
+		if loc.pageIdx >= 0 {
+			idByLoc[loc] = int64(id)
+		}
+	}
+	return idByLoc
 }
 
 // dropIndex removes the named index.

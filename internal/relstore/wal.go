@@ -11,18 +11,26 @@ import "sync"
 // shared structure: concurrent writers serialize on its mutex for the few
 // nanoseconds of counter arithmetic.
 type WAL struct {
+	// syncThreshold is the auto-sync high-water mark in bytes: when the
+	// unsynced tail reaches it, the append that crossed it counts a sync
+	// without waiting for a commit.  0 disables auto-sync (the historical
+	// behaviour: the log syncs only at commit).  Immutable after creation.
+	syncThreshold int64
+
 	mu             sync.Mutex
 	records        int64
 	groupRecords   int64
 	groupedRows    int64
 	bytes          int64
 	commits        int64
+	autoSyncs      int64
 	bytesSinceSync int64
 	maxUnsynced    int64
 }
 
-// NewWAL returns an empty redo log.
-func NewWAL() *WAL { return &WAL{} }
+// NewWAL returns an empty redo log with the given auto-sync threshold in
+// bytes (0 = sync only at commit; see WithWALSync).
+func NewWAL(syncThreshold int64) *WAL { return &WAL{syncThreshold: syncThreshold} }
 
 // AppendInsert records a redo entry of the given payload size and returns the
 // number of log bytes written (payload plus a fixed record header).
@@ -32,12 +40,22 @@ func (w *WAL) AppendInsert(payloadBytes int) int {
 	w.mu.Lock()
 	w.records++
 	w.bytes += int64(n)
-	w.bytesSinceSync += int64(n)
+	w.advanceUnsyncedLocked(int64(n))
+	w.mu.Unlock()
+	return n
+}
+
+// advanceUnsyncedLocked grows the unsynced tail by n bytes, updates the
+// high-water mark, and applies the auto-sync threshold; w.mu must be held.
+func (w *WAL) advanceUnsyncedLocked(n int64) {
+	w.bytesSinceSync += n
 	if w.bytesSinceSync > w.maxUnsynced {
 		w.maxUnsynced = w.bytesSinceSync
 	}
-	w.mu.Unlock()
-	return n
+	if w.syncThreshold > 0 && w.bytesSinceSync >= w.syncThreshold {
+		w.autoSyncs++
+		w.bytesSinceSync = 0
+	}
 }
 
 // AppendInsertGroup records one redo entry covering a group of n rows with the
@@ -58,10 +76,7 @@ func (w *WAL) AppendInsertGroup(n, payloadBytes int) int {
 	w.groupRecords++
 	w.groupedRows += int64(n)
 	w.bytes += int64(size)
-	w.bytesSinceSync += int64(size)
-	if w.bytesSinceSync > w.maxUnsynced {
-		w.maxUnsynced = w.bytesSinceSync
-	}
+	w.advanceUnsyncedLocked(int64(size))
 	w.mu.Unlock()
 	return size
 }
@@ -82,11 +97,14 @@ func (w *WAL) AppendCommit() int64 {
 
 // WALStats is a snapshot of redo-log counters.
 type WALStats struct {
-	Records          int64
-	GroupRecords     int64
-	GroupedRows      int64
-	Bytes            int64
-	Commits          int64
+	Records      int64
+	GroupRecords int64
+	GroupedRows  int64
+	Bytes        int64
+	Commits      int64
+	// AutoSyncs counts syncs forced by the WithWALSync threshold rather than
+	// by a commit.
+	AutoSyncs        int64
 	MaxUnsyncedBytes int64
 }
 
@@ -100,6 +118,7 @@ func (w *WAL) Stats() WALStats {
 		GroupedRows:      w.groupedRows,
 		Bytes:            w.bytes,
 		Commits:          w.commits,
+		AutoSyncs:        w.autoSyncs,
 		MaxUnsyncedBytes: w.maxUnsynced,
 	}
 }

@@ -9,7 +9,7 @@ import (
 // TestWALAppendAccounting checks the byte and record arithmetic of the three
 // append paths against hand-computed values.
 func TestWALAppendAccounting(t *testing.T) {
-	w := NewWAL()
+	w := NewWAL(0)
 
 	if got := w.AppendInsert(100); got != 128 {
 		t.Fatalf("AppendInsert(100) = %d, want 128 (payload+28 header)", got)
@@ -55,8 +55,8 @@ func TestWALAppendAccounting(t *testing.T) {
 // worth of overhead difference — the amortization the batch path relies on.
 func TestWALGroupEquivalentVolume(t *testing.T) {
 	const n, payloadPerRow = 40, 97
-	perRow := NewWAL()
-	grouped := NewWAL()
+	perRow := NewWAL(0)
+	grouped := NewWAL(0)
 	var perRowBytes, groupBytes int
 	for i := 0; i < n; i++ {
 		perRowBytes += perRow.AppendInsert(payloadPerRow)
@@ -88,7 +88,7 @@ func TestWALConcurrentWriters(t *testing.T) {
 		groupEvery    = 3
 		rowsPerGroup  = 16
 	)
-	w := NewWAL()
+	w := NewWAL(0)
 	var wg sync.WaitGroup
 	var bytesWritten, commitMarkers, recordsWritten, groupsWritten, rowsGrouped atomic.Int64
 
@@ -160,5 +160,54 @@ func TestWALConcurrentWriters(t *testing.T) {
 	// The mark can never exceed the total volume ever written.
 	if st.MaxUnsyncedBytes > st.Bytes {
 		t.Fatalf("MaxUnsyncedBytes %d exceeds total bytes %d", st.MaxUnsyncedBytes, st.Bytes)
+	}
+}
+
+// TestWALAutoSyncThreshold pins the WithWALSync semantics: with a threshold
+// the unsynced tail never exceeds it for long (the crossing append syncs),
+// AutoSyncs counts those syncs, and commit forces only the remainder.
+// Threshold 0 keeps the historical sync-only-at-commit behaviour.
+func TestWALAutoSyncThreshold(t *testing.T) {
+	w := NewWAL(100)
+	for i := 0; i < 10; i++ {
+		w.AppendInsert(22) // 50 log bytes per record with the header
+	}
+	st := w.Stats()
+	if st.AutoSyncs != 5 {
+		t.Fatalf("AutoSyncs = %d, want 5 (every second 50-byte record crosses 100)", st.AutoSyncs)
+	}
+	if st.MaxUnsyncedBytes > 100 {
+		t.Fatalf("MaxUnsyncedBytes = %d, want <= threshold 100", st.MaxUnsyncedBytes)
+	}
+	forced := w.AppendCommit()
+	if forced != 48 {
+		t.Fatalf("commit forced %d bytes, want only the marker (48) after an auto-sync", forced)
+	}
+
+	w0 := NewWAL(0)
+	for i := 0; i < 10; i++ {
+		w0.AppendInsert(22)
+	}
+	if st := w0.Stats(); st.AutoSyncs != 0 || st.MaxUnsyncedBytes != 500 {
+		t.Fatalf("threshold 0: AutoSyncs=%d MaxUnsynced=%d, want 0/500", st.AutoSyncs, st.MaxUnsyncedBytes)
+	}
+
+	// The option threads through Open to the engine's WAL.
+	db := MustOpen(testSchema(t), WithWALSync(64))
+	if db.Config().WALSyncBytes != 64 {
+		t.Fatalf("WALSyncBytes = %d, want 64", db.Config().WALSyncBytes)
+	}
+	txn, _ := db.Begin()
+	insertFrame(t, txn, 1)
+	for i := int64(1); i <= 50; i++ {
+		if err := insertObject(t, txn, i, 1, float64(i%30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.WAL().Stats(); st.AutoSyncs == 0 || st.MaxUnsyncedBytes > 64+128 {
+		t.Fatalf("engine WAL did not auto-sync: %+v", st)
 	}
 }

@@ -13,7 +13,7 @@ import (
 // chain satisfied.
 func testDB(t *testing.T) *relstore.DB {
 	t.Helper()
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(catalog.NewSchema())
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)

@@ -43,5 +43,14 @@ func RunMixed(loadServer *sqlbatch.Server, files []*catalog.File, loadCfg parall
 	if err != nil {
 		return MixedResult{}, err
 	}
+	if loadCfg.SealAfterLoad {
+		// Deferred index policy: close the load phase once loaders and the
+		// trace have drained.  Queries issued during the load saw Ready() ==
+		// false on suspended indexes and fell back to scans — that is the
+		// policy's serving-side cost, which the mixed report makes visible.
+		if err := parallel.SealPhase(loadServer, &loadRes); err != nil {
+			return MixedResult{}, err
+		}
+	}
 	return MixedResult{Load: loadRes, Serve: qs.Report(elapsed)}, nil
 }

@@ -28,7 +28,7 @@ import (
 // engine's documented dirty-read behaviour and exactly why only
 // SnapshotRead-stable results are cacheable.)
 func TestRaceCacheNeverServesUncommittedRows(t *testing.T) {
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{MaxConcurrentTxns: 32})
+	db := relstore.MustOpen(catalog.NewSchema(), relstore.WithMaxConcurrentTxns(32))
 	setup, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)

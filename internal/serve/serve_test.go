@@ -30,7 +30,7 @@ type serveEnv struct {
 // reference data seeded and the htmid index policy applied.
 func newServeEnv(t testing.TB, sched exec.Scheduler, policy tuning.IndexPolicy, cfg Config) *serveEnv {
 	t.Helper()
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(catalog.NewSchema())
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)

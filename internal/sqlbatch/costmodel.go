@@ -64,6 +64,16 @@ type CostModel struct {
 	IndexFloatColCost time.Duration
 	// IndexSplitCost is charged per B-tree node split.
 	IndexSplitCost time.Duration
+	// IndexBuildRowCost is charged per (row, index) pair streamed into an
+	// end-of-load bulk index build (DB.Seal with the deferred policy): the
+	// key extraction, sort share and sequential leaf append for one row.  It
+	// prices the rebuild-after-load half of Figure 8's drop-and-rebuild
+	// lever; the per-node charges below reuse the same int/float column cost
+	// classes as immediate maintenance, so the DES prediction and the
+	// wall-clock engine answer the same question.  Bulk building touches
+	// each node once total instead of O(height) nodes per row, which is why
+	// deferred loading wins.
+	IndexBuildRowCost time.Duration
 	// LogBytesPerSecond is the sequential redo-log write bandwidth.
 	LogBytesPerSecond float64
 	// CacheScanCostPerPage is the database-writer cost of examining one
@@ -148,6 +158,7 @@ func DefaultCostModel() CostModel {
 		IndexIntColCost:      560 * time.Microsecond,
 		IndexFloatColCost:    1100 * time.Microsecond,
 		IndexSplitCost:       1200 * time.Microsecond,
+		IndexBuildRowCost:    45 * time.Microsecond,
 		LogBytesPerSecond:    45e6,
 		CacheScanCostPerPage: 30 * time.Microsecond,
 

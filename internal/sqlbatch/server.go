@@ -78,6 +78,11 @@ type ServerStats struct {
 	DataIOTime    time.Duration
 	IndexIOTime   time.Duration
 	LogIOTime     time.Duration
+	// Seals counts Seal calls that rebuilt at least one index; SealTime is
+	// the total service time charged for those rebuilds (also included in
+	// ServerCPUTime/IndexIOTime).
+	Seals    int64
+	SealTime time.Duration
 }
 
 // serverCounters is the lock-free internal representation of ServerStats;
@@ -98,6 +103,8 @@ type serverCounters struct {
 	dataIONs     atomic.Int64
 	indexIONs    atomic.Int64
 	logIONs      atomic.Int64
+	seals        atomic.Int64
+	sealNs       atomic.Int64
 }
 
 func (c *serverCounters) snapshot() ServerStats {
@@ -116,6 +123,8 @@ func (c *serverCounters) snapshot() ServerStats {
 		DataIOTime:    time.Duration(c.dataIONs.Load()),
 		IndexIOTime:   time.Duration(c.indexIONs.Load()),
 		LogIOTime:     time.Duration(c.logIONs.Load()),
+		Seals:         c.seals.Load(),
+		SealTime:      time.Duration(c.sealNs.Load()),
 	}
 }
 
@@ -234,6 +243,44 @@ func (s *Server) finish(w exec.Worker, txn *relstore.Txn, commit bool) (relstore
 	err := txn.Rollback()
 	s.useCPU(w, s.cost.CommitCost)
 	return relstore.CommitReport{}, err
+}
+
+// BeginLoad opens the engine's load phase: deferred-policy indexes stop
+// being maintained until Seal.  It is free — suspension is bookkeeping, not
+// physical work — so no worker is needed; call it before spawning loaders.
+func (s *Server) BeginLoad() error { return s.db.BeginLoad() }
+
+// Seal closes the load phase on behalf of worker w: every deferred index is
+// bulk-rebuilt from a presorted key stream (relstore.DB.Seal) and the rebuild
+// is charged to the server's CPU and index device using the same index cost
+// classes as immediate maintenance — IndexBuildRowCost per streamed row plus
+// the per-node int/float column charges — so a virtual-time Figure 8 sweep of
+// the two policies is an apples-to-apples comparison.
+func (s *Server) Seal(w exec.Worker) (relstore.SealReport, error) {
+	rep, err := s.db.Seal()
+	if err != nil {
+		return rep, err
+	}
+	if !rep.Sealed() {
+		return rep, nil
+	}
+	var charged time.Duration
+	for _, ix := range rep.Indexes {
+		// Sort + stream CPU, proportional to rows.
+		cpu := time.Duration(ix.Rows) * s.cost.IndexBuildRowCost
+		s.useCPU(w, cpu)
+		// Sequential node writes on the index device: each node is written
+		// once, priced with the same column cost classes immediate
+		// maintenance pays per node *visit*.
+		idxT := time.Duration(ix.NodesBuilt)*s.cost.IndexNodeCost +
+			time.Duration(ix.NodesBuilt*ix.IntCols)*s.cost.IndexIntColCost +
+			time.Duration(ix.NodesBuilt*ix.FloatCols)*s.cost.IndexFloatColCost
+		s.useDisk(w, s.idxDisk, idxT, &s.stats.indexIONs)
+		charged += cpu + idxT
+	}
+	s.stats.seals.Add(1)
+	s.stats.sealNs.Add(int64(charged))
+	return rep, nil
 }
 
 func (s *Server) useCPU(w exec.Worker, d time.Duration) {

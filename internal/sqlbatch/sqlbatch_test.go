@@ -14,7 +14,7 @@ import (
 func newTestServer(t *testing.T, cfg ServerConfig) (*des.Kernel, *Server) {
 	t.Helper()
 	k := des.NewKernel(1)
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(catalog.NewSchema())
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)
@@ -306,7 +306,7 @@ func TestCostModelHelpers(t *testing.T) {
 
 func TestSharedRAIDConfiguration(t *testing.T) {
 	k := des.NewKernel(1)
-	db := relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	db := relstore.MustOpen(catalog.NewSchema())
 	srv := NewServer(k, db, ServerConfig{SeparateRAID: false}, DefaultCostModel())
 	if srv.Config().SeparateRAID {
 		t.Fatal("config not preserved")
@@ -337,5 +337,78 @@ func TestServerStatsString(t *testing.T) {
 	s := ServerStats{Calls: 3, RowsInserted: 10}
 	if s.String() == "" {
 		t.Fatal("empty string")
+	}
+}
+
+// TestConnSealLifecycle exercises the connection-level load lifecycle: the
+// policy travels with the server (relstore options), BeginLoad suspends the
+// deferred index, Seal refuses to run inside a transaction, and a clean Seal
+// rebuilds the index and charges virtual time to the worker.
+func TestConnSealLifecycle(t *testing.T) {
+	k := des.NewKernel(3)
+	db := relstore.MustOpen(catalog.NewSchema(), relstore.WithIndexPolicy(relstore.IndexDeferred))
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := catalog.SeedReference(txn, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex(catalog.TObservations, "ix_obs_run", []string{"run_id"}, false); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(k, db, ServerConfig{}, DefaultCostModel())
+
+	k.Spawn("loader", func(p *des.Proc) {
+		conn := srv.Connect(p)
+		defer conn.Close()
+		if err := conn.BeginLoad(); err != nil {
+			t.Error(err)
+			return
+		}
+		ix := db.Table(catalog.TObservations).Index("ix_obs_run")
+		if ix.Ready() {
+			t.Error("deferred index still ready after Conn.BeginLoad")
+		}
+		if err := conn.Begin(); err != nil {
+			t.Error(err)
+			return
+		}
+		stmt := conn.Prepare(catalog.TObservations, obsColumns)
+		for i := int64(1); i <= 10; i++ {
+			stmt.AddBatch(obsValues(i))
+		}
+		if _, err := stmt.ExecuteBatch(); err != nil {
+			t.Error(err)
+		}
+		if _, err := conn.Seal(); err == nil {
+			t.Error("Seal inside an open transaction must fail")
+		}
+		if err := conn.Commit(); err != nil {
+			t.Error(err)
+		}
+		before := p.Now()
+		rep, err := conn.Seal()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(rep.Indexes) != 1 || rep.RowsStreamed != 10 {
+			t.Errorf("SealReport = %+v, want 1 index over 10 rows", rep)
+		}
+		if p.Now() <= before {
+			t.Error("Seal charged no virtual time")
+		}
+		if !ix.Ready() || ix.Tree().Len() == 0 {
+			t.Error("index not rebuilt by Conn.Seal")
+		}
+	})
+	k.Run()
+	st := srv.Stats()
+	if st.Seals != 1 || st.SealTime <= 0 {
+		t.Fatalf("server stats Seals=%d SealTime=%s, want one charged seal", st.Seals, st.SealTime)
 	}
 }

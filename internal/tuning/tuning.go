@@ -48,22 +48,41 @@ const (
 )
 
 // ApplyIndexPolicy creates (or drops) the secondary indices on the objects
-// table according to the policy.
+// table according to the policy, with immediate (per-row) maintenance — the
+// engine's historical behaviour.
 func ApplyIndexPolicy(db *relstore.DB, policy IndexPolicy) error {
+	return ApplyIndexPolicyWith(db, policy, relstore.IndexImmediate)
+}
+
+// ApplyIndexPolicyWith creates the secondary indices the policy requires
+// under the given engine maintenance policy.  With relstore.IndexDeferred the
+// indices exist but are bulk-built at DB.Seal instead of being maintained per
+// batch — the paper's "drop indexes while loading, rebuild afterwards" lever
+// expressed through the engine's load-policy API.
+func ApplyIndexPolicyWith(db *relstore.DB, policy IndexPolicy, build relstore.IndexPolicy) error {
 	// Drop both indices if present, then create what the policy requires.
-	_ = db.DropIndex(catalog.TObjects, HTMIDIndexName)
-	_ = db.DropIndex(catalog.TObjects, CompositeIndexName)
+	// The existence check matters: DropIndex records every error in
+	// DBStats.IndexDDLFailures, and a blind drop-if-present on a fresh
+	// database would pollute that counter on every environment build.
+	if t := db.Table(catalog.TObjects); t != nil {
+		if t.Index(HTMIDIndexName) != nil {
+			_ = db.DropIndex(catalog.TObjects, HTMIDIndexName)
+		}
+		if t.Index(CompositeIndexName) != nil {
+			_ = db.DropIndex(catalog.TObjects, CompositeIndexName)
+		}
+	}
 	switch policy {
 	case NoIndexes:
 		return nil
 	case HTMIDOnly:
-		_, err := db.CreateIndex(catalog.TObjects, HTMIDIndexName, []string{"htmid"}, false)
+		_, err := db.CreateIndexWith(catalog.TObjects, HTMIDIndexName, []string{"htmid"}, false, build)
 		return err
 	case HTMIDPlusComposite:
-		if _, err := db.CreateIndex(catalog.TObjects, HTMIDIndexName, []string{"htmid"}, false); err != nil {
+		if _, err := db.CreateIndexWith(catalog.TObjects, HTMIDIndexName, []string{"htmid"}, false, build); err != nil {
 			return err
 		}
-		_, err := db.CreateIndex(catalog.TObjects, CompositeIndexName, []string{"ra", "dec", "mag"}, false)
+		_, err := db.CreateIndexWith(catalog.TObjects, CompositeIndexName, []string{"ra", "dec", "mag"}, false, build)
 		return err
 	default:
 		return fmt.Errorf("tuning: unknown index policy %d", int(policy))
@@ -84,6 +103,11 @@ type Profile struct {
 	// Presorted indicates the catalog files are sorted parent-before-child
 	// (the §4.5.4 byproduct of extraction); the generator honours it.
 	Presorted bool
+	// DeferredIndexBuild selects relstore.IndexDeferred maintenance for the
+	// profile's indices: the load runs inside DB.BeginLoad/DB.Seal and the
+	// indices are bulk-built at Seal instead of per batch (Figure 8's
+	// drop-and-rebuild lever).  False keeps immediate maintenance.
+	DeferredIndexBuild bool
 }
 
 // ProductionLoading is the configuration the paper converged on for the
@@ -133,6 +157,24 @@ func (p Profile) DBConfig() relstore.Config {
 	return cfg
 }
 
+// BuildPolicy returns the engine index maintenance policy the profile
+// implies.
+func (p Profile) BuildPolicy() relstore.IndexPolicy {
+	if p.DeferredIndexBuild {
+		return relstore.IndexDeferred
+	}
+	return relstore.IndexImmediate
+}
+
+// Options returns the relstore.Open options implied by the profile; it is
+// the functional-options form of DBConfig plus the index build policy.
+func (p Profile) Options() []relstore.Option {
+	return []relstore.Option{
+		relstore.WithConfig(p.DBConfig()),
+		relstore.WithIndexPolicy(p.BuildPolicy()),
+	}
+}
+
 // ServerConfig returns the sqlbatch server configuration implied by the
 // profile.
 func (p Profile) ServerConfig() sqlbatch.ServerConfig {
@@ -141,7 +183,8 @@ func (p Profile) ServerConfig() sqlbatch.ServerConfig {
 	return cfg
 }
 
-// Apply applies the profile's index policy to an existing database.
+// Apply applies the profile's index policy (which indices exist, and under
+// which maintenance policy) to an existing database.
 func (p Profile) Apply(db *relstore.DB) error {
-	return ApplyIndexPolicy(db, p.Indexes)
+	return ApplyIndexPolicyWith(db, p.Indexes, p.BuildPolicy())
 }

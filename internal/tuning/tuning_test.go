@@ -9,7 +9,7 @@ import (
 
 func newDB(t *testing.T) *relstore.DB {
 	t.Helper()
-	return relstore.MustNewDB(catalog.NewSchema(), relstore.Config{})
+	return relstore.MustOpen(catalog.NewSchema())
 }
 
 func indexNames(db *relstore.DB) []string {
@@ -94,5 +94,47 @@ func TestProfiles(t *testing.T) {
 	}
 	if n := len(indexNames(db)); n != 1 {
 		t.Fatalf("Apply(production) indexes = %v", indexNames(db))
+	}
+}
+
+func TestDeferredProfileAppliesEnginePolicy(t *testing.T) {
+	db := newDB(t)
+	prof := ProductionLoading()
+	prof.Indexes = HTMIDPlusComposite
+	prof.DeferredIndexBuild = true
+	if prof.BuildPolicy() != relstore.IndexDeferred {
+		t.Fatalf("BuildPolicy = %v, want deferred", prof.BuildPolicy())
+	}
+	if err := prof.Apply(db); err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range db.AllIndexes() {
+		if ix.Policy() != relstore.IndexDeferred {
+			t.Fatalf("index %s policy = %v, want deferred", ix.Name, ix.Policy())
+		}
+		if !ix.Ready() {
+			t.Fatalf("index %s not ready outside a load phase", ix.Name)
+		}
+	}
+	// Options() carries the same policy into Open: indexes created through
+	// the default CreateIndex inherit it.
+	db2 := relstore.MustOpen(catalog.NewSchema(), prof.Options()...)
+	if _, err := db2.CreateIndex(catalog.TObjects, "ix_probe", []string{"htmid"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Table(catalog.TObjects).Index("ix_probe").Policy(); got != relstore.IndexDeferred {
+		t.Fatalf("default-created index policy = %v, want deferred", got)
+	}
+}
+
+func TestApplyIndexPolicyKeepsDDLStatsClean(t *testing.T) {
+	db := newDB(t)
+	for _, p := range []IndexPolicy{NoIndexes, HTMIDOnly, HTMIDPlusComposite, HTMIDOnly} {
+		if err := ApplyIndexPolicy(db, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := db.Stats(); st.IndexDDLFailures != 0 {
+		t.Fatalf("IndexDDLFailures = %d after policy switches, want 0", st.IndexDDLFailures)
 	}
 }
