@@ -21,13 +21,14 @@ race:
 	$(GO) test -race ./...
 
 # Batch-apply + index-build benchmark smoke: exercises the per-row loop,
-# Txn.InsertBatch, the sorted bulk B-tree pass, the Seal bulk leaf build and
-# the immediate-vs-deferred load policy comparison so neither path can
-# silently regress or break.  -benchtime=100x (1x for the whole-load policy
-# bench) keeps it a smoke test (counts, not timings); real measurements live
-# in BENCH_batchapply.json and BENCH_indexbuild.json and need a quiet host.
+# Txn.InsertBatch, the sorted bulk B-tree pass, the Seal bulk leaf build, the
+# encoded-key comparator and the immediate-vs-deferred load policy comparison
+# so none of those paths can silently regress or break.  -benchtime=100x (1x
+# for the whole-load policy bench) keeps it a smoke test (counts, not
+# timings); real measurements live in BENCH_batchapply.json,
+# BENCH_indexbuild.json and BENCH_btreekeys.json and need a quiet host.
 bench:
-	$(GO) test -run '^$$' -bench 'InsertBatch|InsertPrepared|BTreeInsertSorted|SealBulkBuild' -benchtime=100x ./internal/relstore/
+	$(GO) test -run '^$$' -bench 'InsertBatch|InsertPrepared|BTreeInsertSorted|SealBulkBuild|BTreeEncodedCompare' -benchtime=100x ./internal/relstore/
 	$(GO) test -run '^$$' -bench 'IndexLoadPolicy' -benchtime=1x ./internal/relstore/
 
 smoke:

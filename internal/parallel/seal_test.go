@@ -42,8 +42,13 @@ func dumpIndex(db *relstore.DB, table, index string) string {
 	if ix == nil {
 		return "<missing>"
 	}
-	ix.Tree().AscendRange(nil, nil, func(key []relstore.Value, ids []int64) bool {
-		b.WriteString(relstore.EncodeKey(key))
+	ix.Tree().AscendRange(nil, nil, func(key []byte, ids []int64) bool {
+		vals, err := relstore.DecodeOrderedKey(key)
+		if err != nil {
+			fmt.Fprintf(&b, "<bad key %x: %v>", key, err)
+			return false
+		}
+		b.WriteString(relstore.EncodeKey(vals))
 		for _, id := range ids {
 			fmt.Fprintf(&b, " %d", id)
 		}

@@ -60,3 +60,55 @@ func TestInsertPreparedAllocBudget(t *testing.T) {
 		t.Errorf("insertPrepared allocates %.2f times per row, budget %v", allocs, budget)
 	}
 }
+
+// TestInsertRollbackArenaStable pins the rollback cost of encoded-key
+// indexes.  Rolling back a transaction tombstones its index entries in
+// place; re-inserting the same keys afterwards must re-use the tombstoned
+// entries — appending row ids into retained capacity — rather than copying
+// fresh keys into the arena.  The test drives insert+rollback cycles over a
+// fixed key set and requires (a) the tree's arena footprint to stop growing
+// after the first cycle (no leak) and (b) a steady-state allocation budget
+// per cycle that leaves no room for per-key arena or entry churn.
+func TestInsertRollbackArenaStable(t *testing.T) {
+	db, err := Open(testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateIndex("frames", "ix_exposure", []string{"exposure"}, false); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 64
+	cycle := func() {
+		txn, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			if _, err := txn.Insert("frames", []string{"frame_id", "exposure"},
+				[]Value{Int(int64(i)), Float(float64(i % 8))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := txn.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // first cycle pays for the 8 distinct keys and id slices
+	tree := db.Table("frames").Index("ix_exposure").Tree()
+	keyBytes, arenaBytes := tree.KeyBytes(), tree.ArenaBytes()
+	allocs := testing.AllocsPerRun(50, cycle)
+	if kb, ab := tree.KeyBytes(), tree.ArenaBytes(); kb != keyBytes || ab != arenaBytes {
+		t.Errorf("arena grew across rollback cycles: KeyBytes %d -> %d, ArenaBytes %d -> %d",
+			keyBytes, kb, arenaBytes, ab)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Row storage, undo bookkeeping and txn setup legitimately allocate; the
+	// index side must not.  ~3/row covers the row slice + pk string + growth
+	// slack; anything near 5/row would mean keys are being re-copied.
+	budget := 4.0 * rows
+	if allocs > budget {
+		t.Errorf("insert+rollback cycle allocates %.1f (%.2f/row), budget %.0f", allocs, allocs/rows, budget)
+	}
+}

@@ -1,6 +1,7 @@
 package relstore
 
 import (
+	"bytes"
 	"fmt"
 	"slices"
 )
@@ -324,13 +325,13 @@ func (t *Table) insertBatchLocked(db *DB, txn *Txn, built []Row, rep *OpReport) 
 	return len(ids), firstPage, lastPage, firstErr
 }
 
-// bulkIndexInsert maintains one secondary index for a batch: it extracts the
-// batch's keys into the pooled scratch arena, sorts them (tie-broken by row
-// id, reproducing per-row insertion order under duplicates), and feeds them
-// to the leaf-aware sequential B-tree pass.  Catalog batches frequently
-// arrive already ordered on the indexed attribute (htmid and id columns grow
-// with arrival order), so a linear sortedness check pays for itself before
-// the n·log n sort.
+// bulkIndexInsert maintains one secondary index for a batch: it encodes the
+// batch's keys into the pooled scratch arena, sorts the encoded bytes
+// (tie-broken by row id, reproducing per-row insertion order under
+// duplicates), and feeds them to the leaf-aware sequential B-tree pass.
+// Catalog batches frequently arrive already ordered on the indexed attribute
+// (htmid and id columns grow with arrival order), so a linear sortedness
+// check pays for itself before the n·log n sort.
 func (t *Table) bulkIndexInsert(sc *scratch, ix *Index, rows []Row, ids []int64, rep *OpReport) {
 	if len(rows) == 0 {
 		return
@@ -338,7 +339,11 @@ func (t *Table) bulkIndexInsert(sc *scratch, ix *Index, rows []Row, ids []int64,
 	if ix.int64Keyed && t.bulkIndexInsertInt64(sc, ix, rows, ids, rep) {
 		return
 	}
-	k := len(ix.colIdxs)
+	// Keys are encoded once here and never re-inspected: the sortedness
+	// check, the sort and every tree comparison below are single memcmps.
+	// Growing the arena may reallocate it, leaving earlier kv keys pointing
+	// into the retired backing array — which stays intact and is only read
+	// until the tree copies stored keys into its own arena.
 	sc.karena = sc.karena[:0]
 	sc.kvs = sc.kvs[:0]
 	sorted := true
@@ -346,23 +351,19 @@ func (t *Table) bulkIndexInsert(sc *scratch, ix *Index, rows []Row, ids []int64,
 		row := rows[ri]
 		start := len(sc.karena)
 		for _, c := range ix.colIdxs {
-			sc.karena = append(sc.karena, row[c])
+			sc.karena = appendOrderedValue(sc.karena, row[c])
 			rep.IndexEntryBytes += ValueSize(row[c])
 		}
 		rep.IndexEntryBytes += 8 // row id pointer
-		key := sc.karena[start : start+k : start+k]
-		if sorted && ri > 0 && CompareKeys(sc.kvs[ri-1].key, key) > 0 {
+		key := sc.karena[start:len(sc.karena):len(sc.karena)]
+		if sorted && ri > 0 && bytes.Compare(sc.kvs[ri-1].key, key) > 0 {
 			sorted = false
 		}
 		sc.kvs = append(sc.kvs, idxKV{key: key, id: ids[ri]})
 	}
 	if !sorted {
 		// Equal keys need no reordering: ids ascend with row order already.
-		if ix.firstColFloat {
-			slices.SortFunc(sc.kvs, cmpKVFloatFirst)
-		} else {
-			slices.SortFunc(sc.kvs, cmpKV)
-		}
+		slices.SortFunc(sc.kvs, cmpKV)
 	}
 	st := ix.tree.insertSortedKVs(sc.kvs)
 	rep.IndexNodesVisited += st.NodesVisited
@@ -374,9 +375,9 @@ func (t *Table) bulkIndexInsert(sc *scratch, ix *Index, rows []Row, ids []int64,
 // bulkIndexInsertInt64 is bulkIndexInsert for single-column integer-kinded
 // indexes with no NULL keys in the batch: the keys are extracted as raw
 // int64s, sorted with the specialized pair sort (no comparator calls), and
-// rebuilt from (kind, payload) as they stream into the tree.  It reports
-// false — having done nothing — when a NULL key means the generic path must
-// handle the batch.
+// re-encoded into a small stack buffer as they stream into the tree.  It
+// reports false — having done nothing — when a NULL key means the generic
+// path must handle the batch.
 func (t *Table) bulkIndexInsertInt64(sc *scratch, ix *Index, rows []Row, ids []int64, rep *OpReport) bool {
 	c := ix.colIdxs[0]
 	if cap(sc.sortK) < len(rows) {
@@ -405,12 +406,12 @@ func (t *Table) bulkIndexInsertInt64(sc *scratch, ix *Index, rows []Row, ids []i
 	// Entry volume is uniform for a payload-in-I kind.
 	rep.IndexEntryBytes += len(rows) * (ValueSize(Value{Kind: ix.keyKind}) + 8)
 
-	sc.karena = sc.karena[:0]
+	// Stream the sorted keys into the tree, re-encoding each into a reused
+	// stack buffer; the inserter copies stored keys into the tree's arena.
+	var kb [10]byte
 	si := sortedInserter{t: ix.tree}
 	for i := range ks {
-		start := len(sc.karena)
-		sc.karena = append(sc.karena, Value{Kind: ix.keyKind, I: ks[i]})
-		si.insert(sc.karena[start:start+1:start+1], vs[i])
+		si.insert(appendOrderedValue(kb[:0], Value{Kind: ix.keyKind, I: ks[i]}), vs[i])
 	}
 	rep.IndexNodesVisited += si.st.NodesVisited
 	rep.IndexSplits += si.st.Splits

@@ -45,8 +45,13 @@ func engineState(t *testing.T, db *DB) string {
 		}
 		for _, ix := range tbl.Indexes() {
 			fmt.Fprintf(&b, "index %s len=%d\n", ix.Name, ix.Tree().Len())
-			ix.Tree().AscendRange(nil, nil, func(key []Value, ids []int64) bool {
-				b.WriteString(EncodeKey(key))
+			ix.Tree().AscendRange(nil, nil, func(key []byte, ids []int64) bool {
+				vals, err := DecodeOrderedKey(key)
+				if err != nil {
+					fmt.Fprintf(&b, "<bad key %x: %v>\n", key, err)
+					return false
+				}
+				b.WriteString(EncodeKey(vals))
 				fmt.Fprintf(&b, " -> %v\n", ids)
 				return true
 			})

@@ -153,16 +153,16 @@ func BenchmarkInsertBatch(b *testing.B) {
 // iterations work against the same tree sizes.
 func BenchmarkBTreeInsertSorted(b *testing.B) {
 	const batchSize = 1000
-	makeBatch := func(rng *rand.Rand, keys [][]Value, ids []int64, start int64) {
+	makeBatch := func(rng *rand.Rand, keys [][]byte, ids []int64, start int64) {
 		for i := range keys {
-			keys[i][0] = Int(rng.Int63n(1 << 30))
+			keys[i] = AppendOrderedKey(keys[i][:0], []Value{Int(rng.Int63n(1 << 30))})
 			ids[i] = start + int64(i)
 		}
 	}
-	newBufs := func() ([][]Value, []int64) {
-		keys := make([][]Value, batchSize)
+	newBufs := func() ([][]byte, []int64) {
+		keys := make([][]byte, batchSize)
 		for i := range keys {
-			keys[i] = make([]Value, 1)
+			keys[i] = make([]byte, 0, 16)
 		}
 		return keys, make([]int64, batchSize)
 	}
@@ -209,7 +209,7 @@ func BenchmarkBTreeInsertSorted(b *testing.B) {
 		for n := 0; n < b.N; n++ {
 			base := int64(n) * batchSize
 			for i := range keys {
-				keys[i][0] = Int(base + rng.Int63n(batchSize))
+				keys[i] = AppendOrderedKey(keys[i][:0], []Value{Int(base + rng.Int63n(batchSize))})
 				ids[i] = base + int64(i)
 			}
 			sortKVs(keys, ids)

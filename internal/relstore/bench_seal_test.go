@@ -13,13 +13,13 @@ import (
 // metric for BENCH_indexbuild.json.
 func BenchmarkSealBulkBuild(b *testing.B) {
 	const n = 100_000
-	keys := make([][]Value, n)
+	keys := make([][]byte, n)
 	ids := make([]int64, n)
 	rng := rand.New(rand.NewSource(9))
 	k := int64(0)
 	for i := range keys {
 		k += rng.Int63n(3) // ascending with duplicate runs, htmid-like
-		keys[i] = []Value{Int(k)}
+		keys[i] = EncodeOrderedKey([]Value{Int(k)})
 		ids[i] = int64(i)
 	}
 

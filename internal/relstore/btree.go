@@ -1,15 +1,24 @@
 package relstore
 
 import (
+	"bytes"
 	"fmt"
 )
 
-// BTree is an in-memory B-tree mapping composite keys to row ids.  It backs
-// secondary indexes; the engine counts node visits and splits per insert so
-// that the cost model can charge index-maintenance time, which is what makes
-// the paper's Figure 8 (effect of attribute indices) reproducible: the
-// single-integer index stays shallow and cheap while the composite
+// BTree is an in-memory B-tree mapping order-preserving encoded keys to row
+// ids.  It backs secondary indexes; the engine counts node visits and splits
+// per insert so that the cost model can charge index-maintenance time, which
+// is what makes the paper's Figure 8 (effect of attribute indices) reproducible:
+// the single-integer index stays shallow and cheap while the composite
 // three-float index is wider, splits more often and grows with data size.
+//
+// Keys are the AppendOrderedKey encoding of the indexed column values, so
+// every comparison on the descent path is a single bytes.Compare instead of
+// the per-element kind switch of CompareKeys.  The tree owns the bytes it
+// stores: new entries' keys are copied into per-tree arena chunks (one
+// allocation per chunk, not per key), so callers may pass reusable encode
+// buffers.  Callers that need column values back decode with DecodeOrderedKey;
+// the hot paths never do.
 type BTree struct {
 	degree int
 	root   *btreeNode
@@ -17,10 +26,21 @@ type BTree struct {
 	nodes  int
 	splits int
 	height int
+
+	// keyArena is the current key-copy chunk; stored keys are full-cap
+	// sub-slices of retired and current chunks.  idArena backs the initial
+	// one-element row-id slice of each new entry.  keyBytes sums the lengths
+	// of stored keys and arenaBytes the capacities of all key chunks ever
+	// allocated (retired chunks stay reachable through the keys carved from
+	// them), so the two together report footprint and arena overhead.
+	keyArena   []byte
+	idArena    []int64
+	keyBytes   int
+	arenaBytes int
 }
 
 type btreeEntry struct {
-	key    []Value
+	key    []byte
 	rowIDs []int64
 }
 
@@ -30,6 +50,14 @@ type btreeNode struct {
 }
 
 func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
+
+// Key-arena chunk sizing: chunks double from 256 B up to 64 KiB, so small
+// trees stay small while bulk-loaded trees amortize one allocation across
+// thousands of keys.
+const (
+	btreeKeyChunkMin = 1 << 8
+	btreeKeyChunkMax = 1 << 16
+)
 
 // NewBTree creates a B-tree with the given minimum degree (every node except
 // the root holds between degree-1 and 2*degree-1 entries).  Degrees below 2
@@ -58,6 +86,55 @@ func (t *BTree) Splits() int { return t.splits }
 // Height returns the current tree height (1 for a lone root leaf).
 func (t *BTree) Height() int { return t.height }
 
+// KeyBytes returns the total length of the stored encoded keys, including
+// tombstoned entries (rollback leaves keys in place).
+func (t *BTree) KeyBytes() int { return t.keyBytes }
+
+// ArenaBytes returns the total capacity reserved by the tree's key arena
+// chunks.  ArenaBytes - KeyBytes is the arena overhead: chunk headroom plus
+// bytes occupied by duplicate-key copies the bulk-build paths skip over.
+func (t *BTree) ArenaBytes() int { return t.arenaBytes }
+
+// copyKey copies key into the tree's arena and returns the stored sub-slice.
+// Sub-slices are full (len == cap), so appending to one reallocates instead of
+// overwriting a neighbour.
+func (t *BTree) copyKey(key []byte) []byte {
+	if cap(t.keyArena)-len(t.keyArena) < len(key) {
+		n := cap(t.keyArena) * 2
+		if n < btreeKeyChunkMin {
+			n = btreeKeyChunkMin
+		}
+		if n > btreeKeyChunkMax {
+			n = btreeKeyChunkMax
+		}
+		if n < len(key) {
+			n = len(key)
+		}
+		t.keyArena = make([]byte, 0, n)
+		t.arenaBytes += n
+	}
+	start := len(t.keyArena)
+	t.keyArena = append(t.keyArena, key...)
+	t.keyBytes += len(key)
+	return t.keyArena[start:len(t.keyArena):len(t.keyArena)]
+}
+
+// idSlice returns a one-element row-id slice carved from the id arena.
+func (t *BTree) idSlice(id int64) []int64 {
+	if len(t.idArena) == cap(t.idArena) {
+		n := cap(t.idArena) * 2
+		if n < 64 {
+			n = 64
+		}
+		if n > 8192 {
+			n = 8192
+		}
+		t.idArena = make([]int64, 0, n)
+	}
+	t.idArena = append(t.idArena, id)
+	return t.idArena[len(t.idArena)-1 : len(t.idArena) : len(t.idArena)]
+}
+
 // InsertStats reports the physical work performed by one Insert call.
 type InsertStats struct {
 	NodesVisited int
@@ -65,14 +142,14 @@ type InsertStats struct {
 	NewKey       bool
 }
 
-// Insert adds rowID under key.  Duplicate keys accumulate row ids (non-unique
-// index semantics); unique enforcement is done by the table layer before the
-// index is touched.
+// Insert adds rowID under key (an AppendOrderedKey encoding).  Duplicate keys
+// accumulate row ids (non-unique index semantics); unique enforcement is done
+// by the table layer before the index is touched.
 //
-// The tree copies the key when it stores a new entry, so callers may pass a
-// reusable scratch slice: only genuinely new keys pay an allocation, and
-// inserts under an existing key are allocation-free.
-func (t *BTree) Insert(key []Value, rowID int64) InsertStats {
+// The tree copies the key into its arena when it stores a new entry, so
+// callers may pass a reusable scratch buffer: inserts under an existing key
+// never copy, and new keys cost an amortized fraction of one chunk allocation.
+func (t *BTree) Insert(key []byte, rowID int64) InsertStats {
 	var st InsertStats
 	if len(t.root.entries) == 2*t.degree-1 {
 		old := t.root
@@ -110,7 +187,7 @@ func (t *BTree) splitChild(parent *btreeNode, i int) {
 	parent.entries[i] = median
 }
 
-func (t *BTree) insertNonFull(n *btreeNode, key []Value, rowID int64, st *InsertStats) {
+func (t *BTree) insertNonFull(n *btreeNode, key []byte, rowID int64, st *InsertStats) {
 	st.NodesVisited++
 	i, found := n.find(key)
 	if found {
@@ -118,18 +195,16 @@ func (t *BTree) insertNonFull(n *btreeNode, key []Value, rowID int64, st *Insert
 		return
 	}
 	if n.leaf() {
-		stored := make([]Value, len(key))
-		copy(stored, key)
 		n.entries = append(n.entries, btreeEntry{})
 		copy(n.entries[i+1:], n.entries[i:])
-		n.entries[i] = btreeEntry{key: stored, rowIDs: []int64{rowID}}
+		n.entries[i] = btreeEntry{key: t.copyKey(key), rowIDs: t.idSlice(rowID)}
 		st.NewKey = true
 		return
 	}
 	if len(n.children[i].entries) == 2*t.degree-1 {
 		t.splitChild(n, i)
 		st.Splits++
-		if c := CompareKeys(key, n.entries[i].key); c == 0 {
+		if c := bytes.Compare(key, n.entries[i].key); c == 0 {
 			n.entries[i].rowIDs = append(n.entries[i].rowIDs, rowID)
 			return
 		} else if c > 0 {
@@ -140,17 +215,17 @@ func (t *BTree) insertNonFull(n *btreeNode, key []Value, rowID int64, st *Insert
 }
 
 // find returns the index of the first entry >= key and whether it equals key.
-func (n *btreeNode) find(key []Value) (int, bool) {
+func (n *btreeNode) find(key []byte) (int, bool) {
 	lo, hi := 0, len(n.entries)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if CompareKeys(n.entries[mid].key, key) < 0 {
+		if bytes.Compare(n.entries[mid].key, key) < 0 {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(n.entries) && CompareKeys(n.entries[lo].key, key) == 0 {
+	if lo < len(n.entries) && bytes.Equal(n.entries[lo].key, key) {
 		return lo, true
 	}
 	return lo, false
@@ -173,7 +248,7 @@ func (n *btreeNode) find(key []Value) (int, bool) {
 // search.  Keys that fall outside the cached window fall back to the normal
 // proactive-split descent, so the result is identical to calling Insert once
 // per pair (up to B-tree shape, which depends on insertion order).
-func (t *BTree) InsertSorted(keys [][]Value, rowIDs []int64) InsertStats {
+func (t *BTree) InsertSorted(keys [][]byte, rowIDs []int64) InsertStats {
 	si := sortedInserter{t: t}
 	for pos := range keys {
 		si.insert(keys[pos], rowIDs[pos])
@@ -191,52 +266,23 @@ func (t *BTree) insertSortedKVs(kvs []idxKV) InsertStats {
 }
 
 // sortedInserter carries the state of one InsertSorted pass: the cached leaf
-// window, the previously inserted entry for equal-key runs, and the per-batch
-// arenas that new entries' stored keys and row-id slices are carved from (one
-// allocation per arena chunk instead of two per new key).  Arena sub-slices
-// are full (len == cap), so a later append to an entry's rowIDs reallocates
-// instead of overwriting a neighbour.
+// window and the previously inserted entry for equal-key runs.  New entries'
+// stored keys and row-id slices come from the tree's arenas.
 type sortedInserter struct {
 	t  *BTree
 	st InsertStats
 
 	leaf  *btreeNode // cached leaf of the previous descent (nil = no cache)
-	upper []Value    // exclusive ancestor bound on keys the leaf may accept (nil = +inf)
+	upper []byte     // exclusive ancestor bound on keys the leaf may accept (nil = +inf)
 	last  *btreeNode // node holding the previously inserted entry
 	lasti int
-
-	keyArena []Value
-	idArena  []int64
-}
-
-// cloneKey copies key into the arena and returns the stored copy.
-func (si *sortedInserter) cloneKey(key []Value) []Value {
-	if cap(si.keyArena)-len(si.keyArena) < len(key) {
-		n := 64 * len(key)
-		if n < 256 {
-			n = 256
-		}
-		si.keyArena = make([]Value, 0, n)
-	}
-	start := len(si.keyArena)
-	si.keyArena = append(si.keyArena, key...)
-	return si.keyArena[start:len(si.keyArena):len(si.keyArena)]
-}
-
-// idSlice returns a one-element row-id slice carved from the arena.
-func (si *sortedInserter) idSlice(id int64) []int64 {
-	if len(si.idArena) == cap(si.idArena) {
-		si.idArena = make([]int64, 0, 256)
-	}
-	si.idArena = append(si.idArena, id)
-	return si.idArena[len(si.idArena)-1 : len(si.idArena) : len(si.idArena)]
 }
 
 // insert places one (key, id) pair, which must not sort below the previous
 // pair of this pass.
-func (si *sortedInserter) insert(key []Value, id int64) {
+func (si *sortedInserter) insert(key []byte, id int64) {
 	// Equal-key run: append to the entry the previous iteration stored.
-	if si.last != nil && CompareKeys(key, si.last.entries[si.lasti].key) == 0 {
+	if si.last != nil && bytes.Equal(key, si.last.entries[si.lasti].key) {
 		si.last.entries[si.lasti].rowIDs = append(si.last.entries[si.lasti].rowIDs, id)
 		si.st.NodesVisited++
 		return
@@ -244,7 +290,7 @@ func (si *sortedInserter) insert(key []Value, id int64) {
 	// In-window key: place it in the cached leaf without a descent.  The
 	// strict < keeps keys equal to the ancestor separator on the descent
 	// path, where they find the separator entry itself.
-	if si.leaf != nil && len(si.leaf.entries) < 2*si.t.degree-1 && (si.upper == nil || CompareKeys(key, si.upper) < 0) {
+	if si.leaf != nil && len(si.leaf.entries) < 2*si.t.degree-1 && (si.upper == nil || bytes.Compare(key, si.upper) < 0) {
 		leaf := si.leaf
 		var i int
 		var found bool
@@ -252,7 +298,7 @@ func (si *sortedInserter) insert(key []Value, id int64) {
 			// Sequential hint: a sorted stream's next key usually lands
 			// right after the previous position (key > entries[lasti] is
 			// guaranteed — an equal key took the run branch above).
-			if c := CompareKeys(key, leaf.entries[si.lasti+1].key); c < 0 {
+			if c := bytes.Compare(key, leaf.entries[si.lasti+1].key); c < 0 {
 				i, found = si.lasti+1, false
 			} else if c == 0 {
 				i, found = si.lasti+1, true
@@ -271,7 +317,7 @@ func (si *sortedInserter) insert(key []Value, id int64) {
 		} else {
 			leaf.entries = append(leaf.entries, btreeEntry{})
 			copy(leaf.entries[i+1:], leaf.entries[i:])
-			leaf.entries[i] = btreeEntry{key: si.cloneKey(key), rowIDs: si.idSlice(id)}
+			leaf.entries[i] = btreeEntry{key: si.t.copyKey(key), rowIDs: si.t.idSlice(id)}
 			si.t.size++
 		}
 		si.last, si.lasti = leaf, i
@@ -284,7 +330,7 @@ func (si *sortedInserter) insert(key []Value, id int64) {
 // and refreshes the cached window: the leaf the entry landed in and its
 // tightest ancestor upper bound (no leaf window when the key matched an
 // internal-node entry), plus the entry itself for equal-key runs.
-func (si *sortedInserter) descendInsert(key []Value, id int64) {
+func (si *sortedInserter) descendInsert(key []byte, id int64) {
 	t := si.t
 	if len(t.root.entries) == 2*t.degree-1 {
 		old := t.root
@@ -295,7 +341,7 @@ func (si *sortedInserter) descendInsert(key []Value, id int64) {
 		si.st.Splits++
 	}
 	n := t.root
-	var ub []Value
+	var ub []byte
 	for {
 		si.st.NodesVisited++
 		i, found := n.find(key)
@@ -312,7 +358,7 @@ func (si *sortedInserter) descendInsert(key []Value, id int64) {
 		if n.leaf() {
 			n.entries = append(n.entries, btreeEntry{})
 			copy(n.entries[i+1:], n.entries[i:])
-			n.entries[i] = btreeEntry{key: si.cloneKey(key), rowIDs: si.idSlice(id)}
+			n.entries[i] = btreeEntry{key: t.copyKey(key), rowIDs: t.idSlice(id)}
 			t.size++
 			si.leaf, si.upper = n, ub
 			si.last, si.lasti = n, i
@@ -321,7 +367,7 @@ func (si *sortedInserter) descendInsert(key []Value, id int64) {
 		if len(n.children[i].entries) == 2*t.degree-1 {
 			t.splitChild(n, i)
 			si.st.Splits++
-			if c := CompareKeys(key, n.entries[i].key); c == 0 {
+			if c := bytes.Compare(key, n.entries[i].key); c == 0 {
 				n.entries[i].rowIDs = append(n.entries[i].rowIDs, id)
 				si.leaf, si.upper = nil, nil
 				si.last, si.lasti = n, i
@@ -363,38 +409,40 @@ type BuildStats struct {
 // entries) except the rightmost node of each level, which keeps at least
 // degree-1 entries by borrowing from its left neighbour's share; the result
 // always satisfies CheckInvariants.
-func (t *BTree) BuildFromSorted(keys [][]Value, rowIDs []int64) BuildStats {
-	// Stored keys and initial row-id slices are carved from two arenas (one
-	// allocation each) instead of two allocations per entry; id sub-slices
-	// are full (len == cap), so a later append to an entry's rowIDs
-	// reallocates instead of overwriting a neighbour.
+func (t *BTree) BuildFromSorted(keys [][]byte, rowIDs []int64) BuildStats {
+	// Stored keys and initial row-id slices are carved from two fresh arenas
+	// (one allocation each) instead of two allocations per entry; id
+	// sub-slices are full (len == cap), so a later append to an entry's
+	// rowIDs reallocates instead of overwriting a neighbour.
 	total := 0
 	for i := range keys {
 		total += len(keys[i])
 	}
-	keyArena := make([]Value, 0, total)
-	for i := range keys {
-		keyArena = append(keyArena, keys[i]...)
-	}
+	arena := make([]byte, 0, total)
 	idArena := make([]int64, 0, len(rowIDs))
 	entries := make([]btreeEntry, 0, len(keys))
-	ki := 0
 	for i := range keys {
-		k := len(keys[i])
-		stored := keyArena[ki : ki+k : ki+k]
-		ki += k
-		if n := len(entries); n > 0 && CompareKeys(entries[n-1].key, stored) == 0 {
+		if n := len(entries); n > 0 && bytes.Equal(entries[n-1].key, keys[i]) {
 			entries[n-1].rowIDs = append(entries[n-1].rowIDs, rowIDs[i])
 			continue
 		}
+		start := len(arena)
+		arena = append(arena, keys[i]...)
 		idArena = append(idArena, rowIDs[i])
-		entries = append(entries, btreeEntry{key: stored,
-			rowIDs: idArena[len(idArena)-1 : len(idArena) : len(idArena)]})
+		entries = append(entries, btreeEntry{
+			key:    arena[start:len(arena):len(arena)],
+			rowIDs: idArena[len(idArena)-1 : len(idArena) : len(idArena)],
+		})
 	}
+	t.keyArena = arena
+	t.idArena = idArena
+	t.keyBytes = len(arena)
+	t.arenaBytes = cap(arena)
 	return t.buildFromEntries(entries, len(keys))
 }
 
 // buildFromEntries assembles the tree bottom-up from merged, sorted entries.
+// Callers own key storage and must set keyBytes/arenaBytes accordingly.
 func (t *BTree) buildFromEntries(entries []btreeEntry, rows int) BuildStats {
 	t.root = &btreeNode{}
 	t.nodes = 1
@@ -475,7 +523,7 @@ func (t *BTree) chunkLevel(entries []btreeEntry, children []*btreeNode) (nodes [
 
 // Search returns the row ids stored under key (nil if absent) and the number
 // of nodes visited.
-func (t *BTree) Search(key []Value) ([]int64, int) {
+func (t *BTree) Search(key []byte) ([]int64, int) {
 	n := t.root
 	visited := 0
 	for {
@@ -494,8 +542,11 @@ func (t *BTree) Search(key []Value) ([]int64, int) {
 // Delete removes rowID from the ids stored under key.  When the last id for a
 // key is removed the key remains as a tombstone (empty id list); the loading
 // workload is insert-only, so full B-tree deletion/rebalancing is not needed —
-// tombstones only arise from transaction rollback undo.
-func (t *BTree) Delete(key []Value, rowID int64) bool {
+// tombstones only arise from transaction rollback undo.  The tombstoned key
+// stays in the tree's arena: a later re-insert of the same key appends to the
+// existing entry without re-copying it, so an insert/rollback/insert cycle
+// neither leaks nor duplicates arena bytes.
+func (t *BTree) Delete(key []byte, rowID int64) bool {
 	n := t.root
 	for {
 		i, found := n.find(key)
@@ -517,12 +568,17 @@ func (t *BTree) Delete(key []Value, rowID int64) bool {
 }
 
 // AscendRange visits every (key, rowIDs) pair with from <= key <= to in key
-// order; a nil bound is unbounded.  The visitor returns false to stop early.
-func (t *BTree) AscendRange(from, to []Value, visit func(key []Value, rowIDs []int64) bool) {
+// order; a nil bound is unbounded.  Bounds are AppendOrderedKey encodings;
+// because the encoding is order-preserving and orders a prefix before its
+// extensions exactly as CompareKeys does, range semantics match the former
+// []Value bounds.  The visitor receives the stored encoded key (valid for the
+// life of the tree; decode with DecodeOrderedKey if values are needed) and
+// returns false to stop early.
+func (t *BTree) AscendRange(from, to []byte, visit func(key []byte, rowIDs []int64) bool) {
 	t.ascend(t.root, from, to, visit)
 }
 
-func (t *BTree) ascend(n *btreeNode, from, to []Value, visit func([]Value, []int64) bool) bool {
+func (t *BTree) ascend(n *btreeNode, from, to []byte, visit func([]byte, []int64) bool) bool {
 	start := 0
 	if from != nil {
 		start, _ = n.find(from)
@@ -537,7 +593,7 @@ func (t *BTree) ascend(n *btreeNode, from, to []Value, visit func([]Value, []int
 			break
 		}
 		e := n.entries[i]
-		if to != nil && CompareKeys(e.key, to) > 0 {
+		if to != nil && bytes.Compare(e.key, to) > 0 {
 			return false
 		}
 		if len(e.rowIDs) > 0 {
@@ -551,10 +607,11 @@ func (t *BTree) ascend(n *btreeNode, from, to []Value, visit func([]Value, []int
 	return true
 }
 
-// Keys returns all keys in order; intended for tests and small indexes.
-func (t *BTree) Keys() [][]Value {
-	var out [][]Value
-	t.AscendRange(nil, nil, func(key []Value, _ []int64) bool {
+// Keys returns all encoded keys in order; intended for tests and small
+// indexes.
+func (t *BTree) Keys() [][]byte {
+	var out [][]byte
+	t.AscendRange(nil, nil, func(key []byte, _ []int64) bool {
 		out = append(out, key)
 		return true
 	})
@@ -562,12 +619,16 @@ func (t *BTree) Keys() [][]Value {
 }
 
 // CheckInvariants verifies B-tree structural invariants: key ordering within
-// and across nodes, node fill bounds, and uniform leaf depth.  It returns a
-// descriptive error when an invariant is violated.  Used by property tests.
+// and across nodes, node fill bounds, uniform leaf depth, well-formed stored
+// keys (every key must be a valid AppendOrderedKey encoding) and arena
+// accounting (KeyBytes equals the summed stored key lengths and never exceeds
+// ArenaBytes plus externally owned build arenas).  It returns a descriptive
+// error when an invariant is violated.  Used by property tests.
 func (t *BTree) CheckInvariants() error {
 	depths := map[int]bool{}
-	var walk func(n *btreeNode, depth int, min, max []Value) error
-	walk = func(n *btreeNode, depth int, min, max []Value) error {
+	keyBytes := 0
+	var walk func(n *btreeNode, depth int, min, max []byte) error
+	walk = func(n *btreeNode, depth int, min, max []byte) error {
 		if n != t.root {
 			if len(n.entries) < t.degree-1 || len(n.entries) > 2*t.degree-1 {
 				return fmt.Errorf("node at depth %d has %d entries, want [%d,%d]", depth, len(n.entries), t.degree-1, 2*t.degree-1)
@@ -575,13 +636,17 @@ func (t *BTree) CheckInvariants() error {
 		}
 		for i := 0; i < len(n.entries); i++ {
 			k := n.entries[i].key
-			if i > 0 && CompareKeys(n.entries[i-1].key, k) >= 0 {
+			if _, err := DecodeOrderedKey(k); err != nil {
+				return fmt.Errorf("malformed stored key %x at depth %d: %v", k, depth, err)
+			}
+			keyBytes += len(k)
+			if i > 0 && bytes.Compare(n.entries[i-1].key, k) >= 0 {
 				return fmt.Errorf("entries out of order at depth %d", depth)
 			}
-			if min != nil && CompareKeys(k, min) <= 0 {
+			if min != nil && bytes.Compare(k, min) <= 0 {
 				return fmt.Errorf("entry below subtree lower bound at depth %d", depth)
 			}
-			if max != nil && CompareKeys(k, max) >= 0 {
+			if max != nil && bytes.Compare(k, max) >= 0 {
 				return fmt.Errorf("entry above subtree upper bound at depth %d", depth)
 			}
 		}
@@ -593,7 +658,7 @@ func (t *BTree) CheckInvariants() error {
 			return fmt.Errorf("internal node at depth %d has %d children for %d entries", depth, len(n.children), len(n.entries))
 		}
 		for i, c := range n.children {
-			var lo, hi []Value
+			var lo, hi []byte
 			if i > 0 {
 				lo = n.entries[i-1].key
 			} else {
@@ -615,6 +680,12 @@ func (t *BTree) CheckInvariants() error {
 	}
 	if len(depths) > 1 {
 		return fmt.Errorf("leaves at multiple depths: %v", depths)
+	}
+	if keyBytes != t.keyBytes {
+		return fmt.Errorf("KeyBytes accounting drift: stored %d bytes, counter says %d", keyBytes, t.keyBytes)
+	}
+	if t.keyBytes > t.arenaBytes {
+		return fmt.Errorf("KeyBytes %d exceeds ArenaBytes %d", t.keyBytes, t.arenaBytes)
 	}
 	return nil
 }

@@ -9,21 +9,27 @@ import (
 )
 
 // treeContent renders the logical content of a B-tree: every key in order
-// with its row ids.  Trees built by different insertion orders must agree on
-// content even when their node shapes differ.
+// with its row ids, decoded back to values so mismatches read as column
+// values rather than hex.  Trees built by different insertion orders must
+// agree on content even when their node shapes differ.
 func treeContent(tr *BTree) string {
 	var b strings.Builder
-	tr.AscendRange(nil, nil, func(key []Value, ids []int64) bool {
-		b.WriteString(EncodeKey(key))
+	tr.AscendRange(nil, nil, func(key []byte, ids []int64) bool {
+		vals, err := DecodeOrderedKey(key)
+		if err != nil {
+			fmt.Fprintf(&b, "<bad key %x: %v>", key, err)
+		} else {
+			b.WriteString(EncodeKey(vals))
+		}
 		fmt.Fprintf(&b, " -> %v\n", ids)
 		return true
 	})
 	return b.String()
 }
 
-// sortKVs orders parallel key/id slices the way the batch path does before
-// calling InsertSorted: by key, tie-broken by row id.
-func sortKVs(keys [][]Value, ids []int64) {
+// sortKVs orders parallel encoded-key/id slices the way the batch path does
+// before calling InsertSorted: by key bytes, tie-broken by row id.
+func sortKVs(keys [][]byte, ids []int64) {
 	kvs := make([]idxKV, len(keys))
 	for i := range keys {
 		kvs[i] = idxKV{key: keys[i], id: ids[i]}
@@ -44,11 +50,11 @@ func TestBTreeInsertSortedEquivalence(t *testing.T) {
 		for trial := 0; trial < 30; trial++ {
 			rng := rand.New(rand.NewSource(int64(1000*degree + trial)))
 			n := 1 + rng.Intn(400)
-			keys := make([][]Value, n)
+			keys := make([][]byte, n)
 			ids := make([]int64, n)
 			for i := range keys {
 				// Narrow domains so duplicate keys (multi-id entries) are common.
-				keys[i] = []Value{Int(rng.Int63n(60)), Float(float64(rng.Intn(8)))}
+				keys[i] = EncodeOrderedKey([]Value{Int(rng.Int63n(60)), Float(float64(rng.Intn(8)))})
 				ids[i] = int64(i)
 			}
 
@@ -57,7 +63,7 @@ func TestBTreeInsertSortedEquivalence(t *testing.T) {
 				perPair.Insert(keys[i], ids[i])
 			}
 
-			sortedKeys := append([][]Value(nil), keys...)
+			sortedKeys := append([][]byte(nil), keys...)
 			sortedIDs := append([]int64(nil), ids...)
 			sortKVs(sortedKeys, sortedIDs)
 
@@ -100,17 +106,17 @@ func TestBTreeInsertSortedIntoGrownTree(t *testing.T) {
 	tr := NewBTree(3)
 	var nextID int64
 	for i := 0; i < 3000; i++ {
-		k := []Value{Int(rng.Int63n(5000))}
+		k := intKey(rng.Int63n(5000))
 		ref.Insert(k, nextID)
 		tr.Insert(k, nextID)
 		nextID++
 	}
 	for batch := 0; batch < 40; batch++ {
 		n := 1 + rng.Intn(200)
-		keys := make([][]Value, n)
+		keys := make([][]byte, n)
 		ids := make([]int64, n)
 		for i := range keys {
-			keys[i] = []Value{Int(rng.Int63n(5000))}
+			keys[i] = intKey(rng.Int63n(5000))
 			ids[i] = nextID
 			nextID++
 		}
@@ -136,20 +142,20 @@ func TestBTreeInsertSortedSeparatorKeys(t *testing.T) {
 	tr := NewBTree(2) // degree 2 promotes separators constantly
 	ref := NewBTree(2)
 	for i := 0; i < 64; i++ {
-		k := []Value{Int(int64(i))}
+		k := intKey(int64(i))
 		tr.Insert(k, int64(i))
 		ref.Insert(k, int64(i))
 	}
 	// Every existing key again, in order, plus fresh keys interleaved.
-	var keys [][]Value
+	var keys [][]byte
 	var ids []int64
 	var nextID int64 = 1000
 	for i := 0; i < 64; i++ {
-		keys = append(keys, []Value{Int(int64(i))})
+		keys = append(keys, intKey(int64(i)))
 		ids = append(ids, nextID)
 		nextID++
 		if i%4 == 0 {
-			keys = append(keys, []Value{Int(int64(i*1000 + 500))})
+			keys = append(keys, intKey(int64(i*1000+500)))
 			ids = append(ids, nextID)
 			nextID++
 		}

@@ -1,12 +1,14 @@
 package relstore
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
 
-func intKey(v int64) []Value { return []Value{Int(v)} }
+// intKey encodes a one-integer composite key the way the table layer does.
+func intKey(v int64) []byte { return EncodeOrderedKey([]Value{Int(v)}) }
 
 func TestBTreeInsertSearch(t *testing.T) {
 	bt := NewBTree(3)
@@ -90,8 +92,12 @@ func TestBTreeAscendRange(t *testing.T) {
 		bt.Insert(intKey(i), i)
 	}
 	var got []int64
-	bt.AscendRange(intKey(10), intKey(20), func(key []Value, ids []int64) bool {
-		got = append(got, key[0].Int())
+	bt.AscendRange(intKey(10), intKey(20), func(key []byte, ids []int64) bool {
+		vals, err := DecodeOrderedKey(key)
+		if err != nil {
+			t.Fatalf("stored key %x does not decode: %v", key, err)
+		}
+		got = append(got, vals[0].Int())
 		return true
 	})
 	if len(got) != 11 {
@@ -104,7 +110,7 @@ func TestBTreeAscendRange(t *testing.T) {
 	}
 	// Early stop.
 	count := 0
-	bt.AscendRange(nil, nil, func([]Value, []int64) bool {
+	bt.AscendRange(nil, nil, func([]byte, []int64) bool {
 		count++
 		return count < 5
 	})
@@ -127,24 +133,32 @@ func TestBTreeKeysSorted(t *testing.T) {
 		t.Fatalf("Keys returned %d, want %d", len(keys), len(seen))
 	}
 	for i := 1; i < len(keys); i++ {
-		if CompareKeys(keys[i-1], keys[i]) >= 0 {
+		if bytes.Compare(keys[i-1], keys[i]) >= 0 {
 			t.Fatal("keys not strictly increasing")
 		}
 	}
 }
 
 func TestBTreeCompositeKeys(t *testing.T) {
+	enc := func(vals ...Value) []byte { return EncodeOrderedKey(vals) }
 	bt := NewBTree(3)
-	bt.Insert([]Value{Float(1.5), Float(2.5), Str("a")}, 1)
-	bt.Insert([]Value{Float(1.5), Float(2.5), Str("b")}, 2)
-	bt.Insert([]Value{Float(1.5), Float(1.0), Str("z")}, 3)
-	ids, _ := bt.Search([]Value{Float(1.5), Float(2.5), Str("a")})
+	bt.Insert(enc(Float(1.5), Float(2.5), Str("a")), 1)
+	bt.Insert(enc(Float(1.5), Float(2.5), Str("b")), 2)
+	bt.Insert(enc(Float(1.5), Float(1.0), Str("z")), 3)
+	ids, _ := bt.Search(enc(Float(1.5), Float(2.5), Str("a")))
 	if len(ids) != 1 || ids[0] != 1 {
 		t.Fatalf("composite search = %v", ids)
 	}
 	keys := bt.Keys()
-	if len(keys) != 3 || keys[0][1].Float() != 1.0 {
-		t.Fatalf("composite ordering wrong: %v", keys)
+	if len(keys) != 3 {
+		t.Fatalf("Keys returned %d keys", len(keys))
+	}
+	first, err := DecodeOrderedKey(keys[0])
+	if err != nil {
+		t.Fatalf("decode first key: %v", err)
+	}
+	if first[1].Float() != 1.0 {
+		t.Fatalf("composite ordering wrong: %v", first)
 	}
 }
 

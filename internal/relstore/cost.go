@@ -82,6 +82,13 @@ type DBStats struct {
 	IndexesCreated   int64
 	IndexesDropped   int64
 	IndexDDLFailures int64
+	// IndexKeyBytes is the summed length of the encoded keys stored across
+	// every secondary-index B-tree; IndexArenaBytes is the capacity their key
+	// arenas reserve.  The difference is arena overhead (chunk headroom plus
+	// duplicate-key bytes bulk builds skip over) — the node-memory footprint
+	// numbers BENCH_btreekeys.json tracks across the encoded-key refactor.
+	IndexKeyBytes   int64
+	IndexArenaBytes int64
 }
 
 // newDBStats returns a zeroed stats structure with the violation map ready.

@@ -191,6 +191,14 @@ func (db *DB) Stats() DBStats {
 		out.ConstraintViolations[k] = v
 	}
 	db.counters.violMu.Unlock()
+	for _, t := range db.tables {
+		t.mu.RLock()
+		for _, ix := range t.indexList {
+			out.IndexKeyBytes += int64(ix.tree.KeyBytes())
+			out.IndexArenaBytes += int64(ix.tree.ArenaBytes())
+		}
+		t.mu.RUnlock()
+	}
 	return out
 }
 

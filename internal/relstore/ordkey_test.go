@@ -176,3 +176,68 @@ func TestOrderedKeyNaNPanics(t *testing.T) {
 	}()
 	AppendOrderedKey(nil, []Value{Float(math.NaN())})
 }
+
+// TestOrderedKeyRoundTrip is the decode property: for 20k random keys drawn
+// from every shape, DecodeOrderedKey(AppendOrderedKey(k)) recovers k — same
+// kinds positionally, CompareKeys-equal values, and a byte-identical
+// re-encode.  (-0.0 inputs round-trip to +0.0, which CompareKeys orders
+// equal; that is the only value the trip canonicalizes.)
+func TestOrderedKeyRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(20050712))
+	prop := func() bool {
+		shape := ordKeyShapes[r.Intn(len(ordKeyShapes))]
+		k := make([]Value, len(shape))
+		for i, kind := range shape {
+			k[i] = randOrderedValue(r, kind)
+		}
+		enc := AppendOrderedKey(nil, k)
+		dec, err := DecodeOrderedKey(enc)
+		if err != nil || len(dec) != len(k) {
+			return false
+		}
+		for i := range dec {
+			if dec[i].Kind != k[i].Kind {
+				return false
+			}
+		}
+		if CompareKeys(dec, k) != 0 {
+			return false
+		}
+		return bytes.Equal(AppendOrderedKey(nil, dec), enc)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeOrderedKeyRejects pins the canonical-decode stance: truncations,
+// unknown tags, bad escapes, NaN bits and the -0.0 pattern the encoder never
+// emits must all fail rather than decode to something that re-encodes
+// differently.
+func TestDecodeOrderedKeyRejects(t *testing.T) {
+	valid := EncodeOrderedKey([]Value{Int(7), Str("a\x00b"), Float(-1.5), Bool(true)})
+	for cut := 1; cut < len(valid); cut++ {
+		if vals, err := DecodeOrderedKey(valid[:cut]); err == nil {
+			if re := AppendOrderedKey(nil, vals); bytes.Equal(re, valid[:cut]) {
+				continue // the prefix happened to end on a value boundary
+			}
+			t.Fatalf("truncation at %d decoded non-canonically", cut)
+		}
+	}
+	negZero := appendOrderedUint64([]byte{ordTagFloat}, ^math.Float64bits(math.Copysign(0, -1)))
+	nan := appendOrderedUint64([]byte{ordTagFloat}, math.Float64bits(math.NaN())|1<<63)
+	bad := [][]byte{
+		{0x06},                  // unknown tag
+		{ordTagBool, 2},         // bool payload out of range
+		{ordTagString, 'a'},     // unterminated string
+		{ordTagString, 0x00, 7}, // bad escape
+		{ordTagInt, 1, 2, 3},    // short integer
+		negZero,                 // -0.0: encoder canonicalizes, decoder rejects
+		nan,                     // NaN bits survive the positive fixup
+	}
+	for i, enc := range bad {
+		if _, err := DecodeOrderedKey(enc); err == nil {
+			t.Errorf("case %d (%x): decode accepted malformed key", i, enc)
+		}
+	}
+}

@@ -145,9 +145,11 @@ func (db *DB) SelectEqualIndexed(table, index string, key []Value) ([]Row, int, 
 	if !ix.Ready() {
 		return nil, 0, ErrIndexNotReady
 	}
+	sc := db.scratchPool.Get().(*scratch)
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	ids, visited := ix.tree.Search(key)
+	ids, visited := ix.tree.Search(sc.ordKey(key))
+	db.scratchPool.Put(sc)
 	out := make([]Row, 0, len(ids))
 	for _, id := range ids {
 		if r := t.getRowLocked(id); r != nil {
@@ -171,10 +173,30 @@ func (db *DB) RangeIndexed(table, index string, from, to []Value, limit int) ([]
 	if !ix.Ready() {
 		return nil, ErrIndexNotReady
 	}
+	// Encode both bounds into one pooled buffer and slice it afterwards, so
+	// growth between the two appends cannot invalidate the first bound.  A
+	// nil []Value bound stays a nil byte bound (unbounded).
+	sc := db.scratchPool.Get().(*scratch)
+	defer db.scratchPool.Put(sc)
+	sc.ord = sc.ord[:0]
+	if from != nil {
+		sc.ord = AppendOrderedKey(sc.ord, from)
+	}
+	fl := len(sc.ord)
+	if to != nil {
+		sc.ord = AppendOrderedKey(sc.ord, to)
+	}
+	var fromB, toB []byte
+	if from != nil {
+		fromB = sc.ord[:fl]
+	}
+	if to != nil {
+		toB = sc.ord[fl:]
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var out []Row
-	ix.tree.AscendRange(from, to, func(_ []Value, ids []int64) bool {
+	ix.tree.AscendRange(fromB, toB, func(_ []byte, ids []int64) bool {
 		for _, id := range ids {
 			if r := t.getRowLocked(id); r != nil {
 				out = append(out, r.Clone())

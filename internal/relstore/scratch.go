@@ -1,5 +1,7 @@
 package relstore
 
+import "bytes"
+
 // scratch holds the reusable buffers of the insert hot path: composite-key
 // extraction, key encoding, per-insert unique-key strings and foreign-key
 // probes.  PR 1 kept these buffers on the Table, which was safe under the
@@ -16,21 +18,22 @@ package relstore
 type scratch struct {
 	key  []Value
 	enc  []byte
+	ord  []byte
 	uniq []string
 	fk   []Value
 
 	// Batch-apply buffers (Txn.InsertBatch).  rows stages the built rows of a
 	// batch and ids the row ids assigned to the applied prefix; kvs collects
 	// one secondary index's (key, row id) pairs for the sorted bulk merge,
-	// with karena as the flat Value arena the kv key slices point into, so a
-	// batch costs O(1) scratch allocations per index rather than O(rows).
+	// with karena as the flat encoded-key arena the kv key slices point into,
+	// so a batch costs O(1) scratch allocations per index rather than O(rows).
 	// All are reset per batch (per index for the sort buffers); nothing stored
 	// in the engine aliases them — heap rows come from a dedicated per-batch
-	// arena and the B-tree clones stored keys.
+	// arena and the B-tree clones stored keys into its own arena.
 	rows   []Row
 	ids    []int64
 	kvs    []idxKV
-	karena []Value
+	karena []byte
 	sortK  []int64
 	sortID []int64
 
@@ -42,19 +45,22 @@ type scratch struct {
 	parents []*Table
 }
 
-// idxKV pairs one secondary-index key with the row id it points at for the
-// per-batch sort.  Keys sort ascending, tie-broken by row id: ids are
+// idxKV pairs one encoded secondary-index key with the row id it points at
+// for the per-batch sort.  Keys sort ascending, tie-broken by row id: ids are
 // assigned in row order, so the tie-break reproduces the row-id order the
 // per-row insert path produces under duplicate keys without needing a stable
 // sort.
 type idxKV struct {
-	key []Value
+	key []byte
 	id  int64
 }
 
-// cmpKV is the general idxKV comparator.
+// cmpKV is the idxKV comparator.  The key is an AppendOrderedKey encoding, so
+// one bytes.Compare resolves the whole composite ordering; the float- and
+// int-leading comparator specializations the []Value layout needed are gone
+// because a memcmp is already the fast path.
 func cmpKV(a, b idxKV) int {
-	if c := CompareKeys(a.key, b.key); c != 0 {
+	if c := bytes.Compare(a.key, b.key); c != 0 {
 		return c
 	}
 	switch {
@@ -64,24 +70,6 @@ func cmpKV(a, b idxKV) int {
 		return 1
 	}
 	return 0
-}
-
-// cmpKVFloatFirst orders keys whose leading column is a float (the composite
-// (ra, dec, mag) index shape) by resolving the common case — distinct first
-// floats — without entering the CompareKeys loop.  Ties (including NaN
-// pairs, which CompareValues orders as equal) fall back to the general
-// comparator so the order always agrees with CompareKeys.
-func cmpKVFloatFirst(a, b idxKV) int {
-	av, bv := a.key[0], b.key[0]
-	if av.Kind == KindFloat && bv.Kind == KindFloat {
-		if av.F < bv.F {
-			return -1
-		}
-		if av.F > bv.F {
-			return 1
-		}
-	}
-	return cmpKV(a, b)
 }
 
 // batchRows returns an empty row-staging buffer with capacity for n rows.
@@ -119,6 +107,15 @@ func (sc *scratch) keyOf(row Row, cols []int) []Value {
 func (sc *scratch) encodeKey(key []Value) []byte {
 	sc.enc = AppendKey(sc.enc[:0], key)
 	return sc.enc
+}
+
+// ordKey encodes key with the order-preserving B-tree encoding into the
+// reusable ordered-key buffer.  The result is valid until the next ordKey
+// call on this scratch; the B-tree copies stored keys into its own arena, so
+// passing the shared buffer to Insert/Delete/Search is safe.
+func (sc *scratch) ordKey(key []Value) []byte {
+	sc.ord = AppendOrderedKey(sc.ord[:0], key)
+	return sc.ord
 }
 
 // uniqueEncs returns an n-element buffer for encoded unique-constraint keys.

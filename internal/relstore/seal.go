@@ -1,7 +1,7 @@
 package relstore
 
 import (
-	"math"
+	"bytes"
 	"slices"
 )
 
@@ -162,11 +162,13 @@ func (t *Table) scanRowsByID(visit func(id int64, r Row)) {
 }
 
 // rebuildIndexLocked collects the table's live (key, row id) pairs for the
-// index, sorts them by (key, id), and replaces the index's tree with a fresh
-// bulk-built one; t.mu must be write-held.  Single-column integer-kinded
-// indexes (the htmid shape) take a raw-int64 fast path mirroring the batch
-// path's bulkIndexInsertInt64: extract payloads, pair-sort without a
-// comparator, build directly.
+// index, encodes the keys into one flat arena, sorts the pairs by (encoded
+// key, id) — a memcmp-driven sort, which is why the float-surrogate sort the
+// []Value layout needed is gone — and replaces the index's tree with a fresh
+// bulk-built one that retains the arena; t.mu must be write-held.
+// Single-column integer-kinded indexes (the htmid shape) take a raw-int64
+// fast path mirroring the batch path's bulkIndexInsertInt64: extract
+// payloads, pair-sort without a comparator, build directly.
 func (t *Table) rebuildIndexLocked(ix *Index) IndexBuildReport {
 	rep := IndexBuildReport{
 		Table: t.schema.Name, Index: ix.Name,
@@ -177,18 +179,18 @@ func (t *Table) rebuildIndexLocked(ix *Index) IndexBuildReport {
 	}
 	k := len(ix.colIdxs)
 	n := int(t.heap.rowCount)
-	karena := make([]Value, 0, n*k)
+	karena := make([]byte, 0, n*k*9) // exact for numeric kinds; strings grow it
 	kvs := make([]idxKV, 0, n)
 	sorted := true
 	t.scanRowsByID(func(id int64, r Row) {
 		start := len(karena)
 		for _, c := range ix.colIdxs {
-			karena = append(karena, r[c])
+			karena = appendOrderedValue(karena, r[c])
 			rep.EntryBytes += ValueSize(r[c])
 		}
 		rep.EntryBytes += 8 // row id pointer
-		key := karena[start : start+k : start+k]
-		if sorted && len(kvs) > 0 && CompareKeys(kvs[len(kvs)-1].key, key) > 0 {
+		key := karena[start:len(karena):len(karena)]
+		if sorted && len(kvs) > 0 && bytes.Compare(kvs[len(kvs)-1].key, key) > 0 {
 			sorted = false
 		}
 		kvs = append(kvs, idxKV{key: key, id: id})
@@ -196,73 +198,16 @@ func (t *Table) rebuildIndexLocked(ix *Index) IndexBuildReport {
 	if !sorted {
 		// Heap order is insertion order, so ids ascend within equal keys and
 		// the id tie-break reproduces per-row insertion order.
-		if !(ix.firstColFloat && sortKVsByFloatSurrogate(kvs)) {
-			if ix.firstColFloat {
-				slices.SortFunc(kvs, cmpKVFloatFirst)
-			} else {
-				slices.SortFunc(kvs, cmpKV)
-			}
-		}
+		slices.SortFunc(kvs, cmpKV)
 	}
 	tree := NewBTree(t.btreeDegree)
-	st := tree.buildFromKVs(kvs)
+	st := tree.buildFromKVs(kvs, cap(karena))
 	ix.tree = tree
 	rep.Rows = st.Rows
 	rep.DistinctKeys = st.Entries
 	rep.NodesBuilt = st.NodesBuilt
 	rep.Height = st.Height
 	return rep
-}
-
-// sortKVsByFloatSurrogate sorts kvs for a float-leading composite index by
-// mapping each leading float onto an order-preserving int64 surrogate (the
-// sign-magnitude bit fixup of AppendOrderedKey) and running the raw int64
-// pair sort on (surrogate, position): for a seal-sized key set that beats a
-// generic comparator sort by a wide margin, because the n·log n hot loop
-// compares machine words instead of walking []Value.  Positions ascend with
-// row id, so surrogate ties come out in id order; runs of equal surrogates
-// (equal leading floats) are then re-sorted with the full comparator to
-// order the remaining columns.  Returns false — having done nothing — when a
-// NULL or NaN leading key requires the comparator path.
-func sortKVsByFloatSurrogate(kvs []idxKV) bool {
-	n := len(kvs)
-	ks := make([]int64, n)
-	pos := make([]int64, n)
-	for i := range kvs {
-		v := kvs[i].key[0]
-		if v.Kind != KindFloat || math.IsNaN(v.F) {
-			return false
-		}
-		f := v.F
-		if f == 0 {
-			f = 0 // canonicalize -0.0: CompareValues orders it equal to +0.0
-		}
-		bits := math.Float64bits(f)
-		if bits&(1<<63) != 0 {
-			bits = ^bits
-		} else {
-			bits |= 1 << 63
-		}
-		ks[i] = int64(bits ^ (1 << 63))
-		pos[i] = int64(i)
-	}
-	sortInt64Pairs(ks, pos)
-	out := make([]idxKV, n)
-	for i := range pos {
-		out[i] = kvs[pos[i]]
-	}
-	copy(kvs, out)
-	for i := 0; i < n; {
-		j := i + 1
-		for j < n && ks[j] == ks[i] {
-			j++
-		}
-		if j-i > 1 {
-			slices.SortFunc(kvs[i:j], cmpKV)
-		}
-		i = j
-	}
-	return true
 }
 
 // rebuildIndexInt64Locked is rebuildIndexLocked for single-column
@@ -302,25 +247,32 @@ func (t *Table) rebuildIndexInt64Locked(ix *Index, rep *IndexBuildReport) bool {
 	rep.EntryBytes += len(ks) * (ValueSize(Value{Kind: ix.keyKind}) + 8)
 
 	// Build entries straight from the raw keys: adjacent duplicates merge on
-	// an int64 compare, stored keys are carved from one flat arena, and the
-	// initial one-id slices are full-cap sub-slices of a second arena.
-	karena := make([]Value, 0, len(ks))
+	// an int64 compare, encoded keys are carved from one flat byte arena, and
+	// the initial one-id slices are full-cap sub-slices of a second arena.
+	karena := make([]byte, 0, len(ks)*9)
 	idArena := make([]int64, 0, len(ks))
 	entries := make([]btreeEntry, 0, len(ks))
+	var prev int64
 	for i := range ks {
-		if n := len(entries); n > 0 && karena[len(karena)-1].I == ks[i] {
+		if n := len(entries); n > 0 && prev == ks[i] {
 			entries[n-1].rowIDs = append(entries[n-1].rowIDs, vs[i])
 			continue
 		}
-		karena = append(karena, Value{Kind: ix.keyKind, I: ks[i]})
+		prev = ks[i]
+		start := len(karena)
+		karena = appendOrderedValue(karena, Value{Kind: ix.keyKind, I: ks[i]})
 		idArena = append(idArena, vs[i])
 		entries = append(entries, btreeEntry{
-			key:    karena[len(karena)-1 : len(karena) : len(karena)],
+			key:    karena[start:len(karena):len(karena)],
 			rowIDs: idArena[len(idArena)-1 : len(idArena) : len(idArena)],
 		})
 	}
 	tree := NewBTree(t.btreeDegree)
 	st := tree.buildFromEntries(entries, len(ks))
+	tree.keyArena = karena
+	tree.idArena = idArena
+	tree.keyBytes = len(karena)
+	tree.arenaBytes = cap(karena)
 	ix.tree = tree
 	rep.Rows = st.Rows
 	rep.DistinctKeys = st.Entries
@@ -331,21 +283,28 @@ func (t *Table) rebuildIndexInt64Locked(ix *Index, rep *IndexBuildReport) bool {
 
 // buildFromKVs is BuildFromSorted over idxKV pairs (the seal path's layout).
 // Unlike the exported entry point it does not clone keys: rebuildIndexLocked
-// allocates a fresh key arena per rebuild and never reuses it, so the tree
-// may retain the kv key slices directly.  Initial row-id slices are carved
+// encodes into a fresh key arena per rebuild and never reuses it, so the tree
+// may retain the kv key slices directly; arenaCap is that arena's capacity,
+// recorded for the ArenaBytes accounting.  Initial row-id slices are carved
 // full (len == cap) from one arena, so later appends reallocate instead of
 // overwriting a neighbour.
-func (t *BTree) buildFromKVs(kvs []idxKV) BuildStats {
+func (t *BTree) buildFromKVs(kvs []idxKV, arenaCap int) BuildStats {
 	idArena := make([]int64, 0, len(kvs))
 	entries := make([]btreeEntry, 0, len(kvs))
+	keyBytes := 0
 	for i := range kvs {
-		if n := len(entries); n > 0 && CompareKeys(entries[n-1].key, kvs[i].key) == 0 {
+		if n := len(entries); n > 0 && bytes.Equal(entries[n-1].key, kvs[i].key) {
 			entries[n-1].rowIDs = append(entries[n-1].rowIDs, kvs[i].id)
 			continue
 		}
+		keyBytes += len(kvs[i].key)
 		idArena = append(idArena, kvs[i].id)
 		entries = append(entries, btreeEntry{key: kvs[i].key,
 			rowIDs: idArena[len(idArena)-1 : len(idArena) : len(idArena)]})
 	}
+	t.keyArena = nil
+	t.idArena = idArena
+	t.keyBytes = keyBytes
+	t.arenaBytes = arenaCap
 	return t.buildFromEntries(entries, len(kvs))
 }

@@ -13,8 +13,13 @@ import (
 // to string equality.
 func dumpTree(tr *BTree) string {
 	var b strings.Builder
-	tr.AscendRange(nil, nil, func(key []Value, ids []int64) bool {
-		b.WriteString(EncodeKey(key))
+	tr.AscendRange(nil, nil, func(key []byte, ids []int64) bool {
+		vals, err := DecodeOrderedKey(key)
+		if err != nil {
+			fmt.Fprintf(&b, "<bad key %x: %v>", key, err)
+			return false
+		}
+		b.WriteString(EncodeKey(vals))
 		for _, id := range ids {
 			fmt.Fprintf(&b, " %d", id)
 		}
@@ -40,7 +45,7 @@ func TestBuildFromSortedInvariants(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	for _, degree := range []int{2, 3, 4, 8, 32} {
 		for _, n := range []int{0, 1, 2, 3, 5, 7, 15, 63, 64, 100, 1000} {
-			keys := make([][]Value, 0, n)
+			keys := make([][]byte, 0, n)
 			ids := make([]int64, 0, n)
 			// Ascending keys with duplicate runs; ids ascend with position.
 			k := int64(0)
@@ -50,7 +55,7 @@ func TestBuildFromSortedInvariants(t *testing.T) {
 				} else if i > 0 {
 					k += 1 + int64(r.Intn(5))
 				}
-				keys = append(keys, []Value{Int(k)})
+				keys = append(keys, intKey(k))
 				ids = append(ids, int64(i))
 			}
 			built := NewBTree(degree)
@@ -74,8 +79,8 @@ func TestBuildFromSortedInvariants(t *testing.T) {
 			}
 			// Lookups agree for present and absent keys.
 			for probe := int64(-1); probe <= k+1; probe++ {
-				gotIDs, _ := built.Search([]Value{Int(probe)})
-				wantIDs, _ := ref.Search([]Value{Int(probe)})
+				gotIDs, _ := built.Search(intKey(probe))
+				wantIDs, _ := ref.Search(intKey(probe))
 				if fmt.Sprint(gotIDs) != fmt.Sprint(wantIDs) {
 					t.Fatalf("degree %d n %d: Search(%d) = %v, want %v", degree, n, probe, gotIDs, wantIDs)
 				}

@@ -24,14 +24,13 @@ type Index struct {
 	otherCols int
 	// int64Keyed marks a single-column index whose non-NULL comparisons
 	// reduce to the Value.I payload (integer, timestamp or boolean column) —
-	// the htmid index shape — so the batch path can sort raw int64 pairs
+	// the htmid index shape — so the bulk paths can sort raw int64 pairs
 	// instead of calling a comparator; keyKind is the column's value kind for
-	// rebuilding the keys after that sort.  firstColFloat marks an index
-	// whose leading column is a float (the composite (ra, dec, mag) shape),
-	// which gets a leading-column fast-path comparator.
-	int64Keyed    bool
-	keyKind       ValueKind
-	firstColFloat bool
+	// re-encoding the keys after that sort.  Float-leading indexes need no
+	// special comparator anymore: encoded keys compare with one bytes.Compare
+	// regardless of column kinds.
+	int64Keyed bool
+	keyKind    ValueKind
 
 	// policy is the index's maintenance policy (see IndexPolicy).  suspended
 	// marks a deferred-policy index whose maintenance is currently paused by
@@ -412,8 +411,12 @@ func (t *Table) insertPrepared(sc *scratch, row Row) (int64, rowLoc, OpReport, e
 	}
 
 	for _, ix := range t.liveList {
+		// Encode once into the transaction scratch; the tree copies stored
+		// keys into its arena, so the shared buffer is safe to reuse.  Entry
+		// volume stays priced from the column values (the cost model charges
+		// logical entry bytes, not the encoding's framing).
 		key := sc.keyOf(row, ix.colIdxs)
-		st := ix.tree.Insert(key, id)
+		st := ix.tree.Insert(sc.ordKey(key), id)
 		rep.IndexNodesVisited += st.NodesVisited
 		rep.IndexSplits += st.Splits
 		rep.IndexFloatColNodeVisits += st.NodesVisited * ix.floatCols
@@ -444,9 +447,11 @@ func (t *Table) deleteRow(sc *scratch, id int64) {
 	}
 	// Suspended indexes hold no entries for rows inserted during the load
 	// phase, so rollback skips them; Seal later rebuilds from the surviving
-	// heap rows only.
+	// heap rows only.  The encode reuses the scratch buffer and Delete only
+	// tombstones the entry — the key's arena bytes stay owned by the tree —
+	// so a rollback neither allocates per index nor re-copies arena chunks.
 	for _, ix := range t.liveList {
-		ix.tree.Delete(sc.keyOf(row, ix.colIdxs), id)
+		ix.tree.Delete(sc.ordKey(sc.keyOf(row, ix.colIdxs)), id)
 	}
 	t.heap.markDeleted(loc)
 	t.rows.remove(id)
@@ -520,8 +525,6 @@ func (t *Table) createIndex(name string, columns []string, unique bool, policy I
 		ix.int64Keyed, ix.keyKind = len(ix.colIdxs) == 1, KindTime
 	case TypeBool:
 		ix.int64Keyed, ix.keyKind = len(ix.colIdxs) == 1, KindBool
-	case TypeFloat:
-		ix.firstColFloat = true
 	}
 	if policy == IndexDeferred && t.loading != nil && t.loading.Load() {
 		// Mid-load creation of a deferred index: no backfill, Seal builds it.
@@ -533,7 +536,7 @@ func (t *Table) createIndex(name string, columns []string, unique bool, policy I
 		var sc scratch
 		idByLoc := t.idByLocLocked()
 		t.heap.scanLoc(func(loc rowLoc, r Row) bool {
-			ix.tree.Insert(sc.keyOf(r, ix.colIdxs), idByLoc[loc])
+			ix.tree.Insert(sc.ordKey(sc.keyOf(r, ix.colIdxs)), idByLoc[loc])
 			return true
 		})
 	}
