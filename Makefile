@@ -22,14 +22,17 @@ race:
 
 # Batch-apply + index-build benchmark smoke: exercises the per-row loop,
 # Txn.InsertBatch, the sorted bulk B-tree pass, the Seal bulk leaf build, the
-# encoded-key comparator and the immediate-vs-deferred load policy comparison
-# so none of those paths can silently regress or break.  -benchtime=100x (1x
-# for the whole-load policy bench) keeps it a smoke test (counts, not
-# timings); real measurements live in BENCH_batchapply.json,
-# BENCH_indexbuild.json and BENCH_btreekeys.json and need a quiet host.
+# encoded-key comparator, the immediate-vs-deferred load policy comparison,
+# the group-commit queue and the mixed-ingest read-p99 scenario so none of
+# those paths can silently regress or break.  -benchtime=100x (1x for the
+# whole-run benches) keeps it a smoke test (counts, not timings); real
+# measurements live in BENCH_batchapply.json, BENCH_indexbuild.json,
+# BENCH_btreekeys.json and BENCH_groupcommit.json and need a quiet host.
 bench:
 	$(GO) test -run '^$$' -bench 'InsertBatch|InsertPrepared|BTreeInsertSorted|SealBulkBuild|BTreeEncodedCompare' -benchtime=100x ./internal/relstore/
 	$(GO) test -run '^$$' -bench 'IndexLoadPolicy' -benchtime=1x ./internal/relstore/
+	$(GO) test -run '^$$' -bench 'GroupCommit' -benchtime=20x ./internal/relstore/
+	$(GO) test -run '^$$' -bench 'MixedIngestP99' -benchtime=1x ./internal/serve/
 
 smoke:
 	$(GO) run ./cmd/skyserve -smoke

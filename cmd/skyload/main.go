@@ -66,6 +66,10 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-table row counts and skipped-row details")
 		wallclock  = flag.Bool("wallclock", false, "run loaders as real goroutines and report real elapsed time")
 		timescale  = flag.Float64("timescale", 0, "with -wallclock: multiply simulated service costs into real sleeps (0 = skip them)")
+
+		groupCommit  = flag.Duration("group-commit", 0, "with -wallclock: group-commit window (0 disables; e.g. 200us)")
+		groupWaiters = flag.Int("group-waiters", 0, "with -wallclock: max transactions per commit group (0 = default)")
+		lockChunk    = flag.Int("lock-chunk", 0, "with -wallclock: InsertBatch lock-chunk rows (0 = one lock hold per batch)")
 	)
 	flag.Parse()
 
@@ -161,9 +165,13 @@ func main() {
 	}
 
 	// Build a fresh environment (database + server) on the given scheduler.
-	buildEnv := func(sched exec.Scheduler) (*sqlbatch.Server, *relstore.DB) {
-		db, err := relstore.Open(catalog.NewSchema(),
-			relstore.WithConfig(dbCfg), relstore.WithIndexPolicy(buildPolicy))
+	// extra options carry the wall-clock-only ingest-mode flags; the DES run
+	// stays on campaign/profile settings so virtual-time figures are
+	// unaffected.
+	buildEnv := func(sched exec.Scheduler, extra ...relstore.Option) (*sqlbatch.Server, *relstore.DB) {
+		opts := append([]relstore.Option{
+			relstore.WithConfig(dbCfg), relstore.WithIndexPolicy(buildPolicy)}, extra...)
+		db, err := relstore.Open(catalog.NewSchema(), opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -195,8 +203,16 @@ func main() {
 		return
 	}
 
-	// The real run: loader goroutines against the concurrent engine.
-	rtServer, rtDB := buildEnv(exec.NewRealtime(exec.RealtimeConfig{Seed: *seed, TimeScale: *timescale}))
+	// The real run: loader goroutines against the concurrent engine.  The
+	// ingest-mode flags apply here only.
+	var ingestOpts []relstore.Option
+	if *groupCommit > 0 {
+		ingestOpts = append(ingestOpts, relstore.WithGroupCommit(*groupCommit, *groupWaiters))
+	}
+	if *lockChunk > 0 {
+		ingestOpts = append(ingestOpts, relstore.WithBatchLockChunk(*lockChunk))
+	}
+	rtServer, rtDB := buildEnv(exec.NewRealtime(exec.RealtimeConfig{Seed: *seed, TimeScale: *timescale}), ingestOpts...)
 	rtRes, err := parallel.Run(rtServer, files, clusterCfg)
 	if err != nil {
 		fatal(err)
@@ -230,6 +246,10 @@ func reportWallclock(rt, sim parallel.Result, db *relstore.DB, loaders int, verb
 		}
 		fmt.Printf("  node %d: files=%d rows=%d elapsed=%s (%.3f MB/s)\n",
 			n.Node, len(n.FilesDone), n.Stats.RowsLoaded, el.Round(1e6), mbps)
+	}
+	if st := db.Stats(); st.GroupCommits > 0 {
+		fmt.Printf("group commit:        %d groups covering %d commits (largest group %d)\n",
+			st.GroupCommits, st.GroupedCommits, st.MaxGroupSize)
 	}
 	fmt.Printf("virtual-time prediction (paper hardware): %s\n", sim.WallTime)
 	if rt.WallTime > 0 {

@@ -71,6 +71,10 @@ func main() {
 		engine = flag.String("engine", "", "des|realtime|both (default: des, or both with -mixed/-smoke)")
 		fig8   = flag.Bool("fig8", false, "sweep index policies over the mixed workload (DES)")
 		smoke  = flag.Bool("smoke", false, "tiny end-to-end run for CI; nonzero exit on failure")
+
+		groupCommit  = flag.Duration("group-commit", 0, "group-commit window (0 disables; e.g. 200us)")
+		groupWaiters = flag.Int("group-waiters", 0, "max transactions per commit group (0 = default)")
+		lockChunk    = flag.Int("lock-chunk", 0, "InsertBatch lock-chunk rows (0 = one lock hold per batch)")
 	)
 	flag.Parse()
 
@@ -113,6 +117,18 @@ func main() {
 		serveCfg.CacheShards = -1
 	}
 
+	// Ingest-mode options ride along with the profile's: group commit
+	// coalesces WAL syncs across concurrent committers, chunked locking lets
+	// readers in between batch sub-chunks (see PERFORMANCE.md, "Ingest
+	// modes").
+	var ingestOpts []relstore.Option
+	if *groupCommit > 0 {
+		ingestOpts = append(ingestOpts, relstore.WithGroupCommit(*groupCommit, *groupWaiters))
+	}
+	if *lockChunk > 0 {
+		ingestOpts = append(ingestOpts, relstore.WithBatchLockChunk(*lockChunk))
+	}
+
 	if *fig8 {
 		runFig8(files, trace, serveCfg, *loaders, *seed)
 		return
@@ -124,12 +140,12 @@ func main() {
 	}
 	failed := false
 	for _, eng := range engines {
-		rep, loadRes, err := runOne(eng, *seed, prof, files, trace, serveCfg, *loaders, *mixed)
+		rep, loadRes, ingestRPS, err := runOne(eng, *seed, prof, files, trace, serveCfg, *loaders, *mixed, ingestOpts)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("=== engine: %s ===\n", eng)
-		printLoad(loadRes, *mixed)
+		printLoad(loadRes, *mixed, ingestRPS)
 		if err := rep.Render(os.Stdout); err != nil {
 			fatal(err)
 		}
@@ -199,9 +215,10 @@ func enginesFor(s string) ([]string, error) {
 }
 
 // buildEnv assembles a fresh database, load server and query server on a
-// scheduler.
-func buildEnv(sched exec.Scheduler, prof tuning.Profile, serveCfg serve.Config) (*sqlbatch.Server, *serve.Server, *relstore.DB) {
-	db, err := relstore.Open(catalog.NewSchema(), prof.Options()...)
+// scheduler.  extra options (ingest-mode flags) are applied after the
+// profile's so they win on conflict.
+func buildEnv(sched exec.Scheduler, prof tuning.Profile, serveCfg serve.Config, extra []relstore.Option) (*sqlbatch.Server, *serve.Server, *relstore.DB) {
+	db, err := relstore.Open(catalog.NewSchema(), append(prof.Options(), extra...)...)
 	if err != nil {
 		fatal(err)
 	}
@@ -223,16 +240,17 @@ func buildEnv(sched exec.Scheduler, prof tuning.Profile, serveCfg serve.Config) 
 }
 
 // runOne executes one engine's run and returns the serve report and, in
-// mixed mode, the load result.
+// mixed mode, the load result and ingest throughput (rows/s over the load
+// window).
 func runOne(engine string, seed int64, prof tuning.Profile, files []*catalog.File, trace []serve.Request,
-	serveCfg serve.Config, loaders int, mixed bool) (serve.Report, *parallel.Result, error) {
+	serveCfg serve.Config, loaders int, mixed bool, ingestOpts []relstore.Option) (serve.Report, *parallel.Result, float64, error) {
 	var sched exec.Scheduler
 	if engine == "des" {
 		sched = exec.NewDES(des.NewKernel(seed))
 	} else {
 		sched = exec.NewRealtime(exec.RealtimeConfig{Seed: seed})
 	}
-	load, qs, db := buildEnv(sched, prof, serveCfg)
+	load, qs, db := buildEnv(sched, prof, serveCfg, ingestOpts)
 	loadCfg := parallel.Config{
 		Loaders:       loaders,
 		Loader:        core.Config{BatchSize: 40, ArraySize: 1000, ChargeStaging: true},
@@ -242,22 +260,22 @@ func runOne(engine string, seed int64, prof tuning.Profile, files []*catalog.Fil
 	if mixed {
 		res, err := serve.RunMixed(load, files, loadCfg, qs, trace)
 		if err != nil {
-			return serve.Report{}, nil, err
+			return serve.Report{}, nil, 0, err
 		}
 		if orphans, _ := db.VerifyIntegrity(); orphans != 0 {
-			return serve.Report{}, nil, fmt.Errorf("%d orphaned rows after mixed run", orphans)
+			return serve.Report{}, nil, 0, fmt.Errorf("%d orphaned rows after mixed run", orphans)
 		}
-		return res.Serve, &res.Load, nil
+		return res.Serve, &res.Load, res.IngestRowsPerSec, nil
 	}
 	loadRes, err := parallel.Run(load, files, loadCfg)
 	if err != nil {
-		return serve.Report{}, nil, err
+		return serve.Report{}, nil, 0, err
 	}
 	rep := qs.Serve(trace)
-	return rep, &loadRes, nil
+	return rep, &loadRes, 0, nil
 }
 
-func printLoad(res *parallel.Result, mixed bool) {
+func printLoad(res *parallel.Result, mixed bool, ingestRPS float64) {
 	if res == nil {
 		return
 	}
@@ -268,6 +286,9 @@ func printLoad(res *parallel.Result, mixed bool) {
 	fmt.Printf("%s: %d rows loaded across %d files in %s (%.3f MB/s) on %d CPUs\n",
 		mode, res.Total.RowsLoaded, res.Total.Files, res.WallTime.Round(time.Microsecond),
 		res.ThroughputMBps, runtime.NumCPU())
+	if mixed && ingestRPS > 0 {
+		fmt.Printf("ingest throughput: %.0f rows/s over the load window\n", ingestRPS)
+	}
 }
 
 // runFig8 sweeps the loading-phase index policies over the same mixed
@@ -303,7 +324,7 @@ func runFig8(files []*catalog.File, trace []serve.Request, serveCfg serve.Config
 		prof := tuning.ProductionLoading()
 		prof.Indexes = pt.indexes
 		prof.DeferredIndexBuild = pt.deferred
-		rep, loadRes, err := runOne("des", seed, prof, files, trace, serveCfg, loaders, true)
+		rep, loadRes, _, err := runOne("des", seed, prof, files, trace, serveCfg, loaders, true, nil)
 		if err != nil {
 			fatal(err)
 		}

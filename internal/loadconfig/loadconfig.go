@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"skyloader/internal/core"
 	"skyloader/internal/parallel"
@@ -48,6 +49,16 @@ type FileConfig struct {
 	IndexBuild   string `json:"index_build,omitempty"`
 	CachePages   int    `json:"cache_pages"`
 	SeparateRAID *bool  `json:"separate_raid,omitempty"`
+
+	// Ingest modes (§4.5.2 analogue; see PERFORMANCE.md, "Ingest modes").
+	// GroupCommitWindowMS > 0 enables group commit: concurrent committers
+	// share one WAL sync per window.  BatchLockChunk > 0 makes InsertBatch
+	// apply its rows in sub-chunks of that many rows, yielding the table
+	// write lock between chunks so readers are not starved.  Both default to
+	// off, which preserves the seed's commit and locking behavior exactly.
+	GroupCommitWindowMS   float64 `json:"group_commit_window_ms,omitempty"`
+	GroupCommitMaxWaiters int     `json:"group_commit_max_waiters,omitempty"`
+	BatchLockChunk        int     `json:"batch_lock_chunk,omitempty"`
 
 	// Simulation scale.
 	RowsPerMB int   `json:"rows_per_mb,omitempty"`
@@ -143,6 +154,15 @@ func (c FileConfig) Validate() error {
 	if c.CachePages < 0 {
 		problems = append(problems, "cache_pages must not be negative")
 	}
+	if c.GroupCommitWindowMS < 0 {
+		problems = append(problems, "group_commit_window_ms must not be negative")
+	}
+	if c.GroupCommitMaxWaiters < 0 {
+		problems = append(problems, "group_commit_max_waiters must not be negative")
+	}
+	if c.BatchLockChunk < 0 {
+		problems = append(problems, "batch_lock_chunk must not be negative")
+	}
 	if c.RowsPerMB < 0 {
 		problems = append(problems, "rows_per_mb must not be negative")
 	}
@@ -228,6 +248,13 @@ func (c FileConfig) DBConfig() relstore.Config {
 	cfg := relstore.DefaultConfig()
 	if c.CachePages > 0 {
 		cfg.CachePages = c.CachePages
+	}
+	if c.GroupCommitWindowMS > 0 {
+		cfg.GroupCommitWindow = time.Duration(c.GroupCommitWindowMS * float64(time.Millisecond))
+		cfg.GroupCommitMaxWaiters = c.GroupCommitMaxWaiters
+	}
+	if c.BatchLockChunk > 0 {
+		cfg.BatchLockChunk = c.BatchLockChunk
 	}
 	return cfg
 }

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skyloader/internal/baseline"
@@ -153,7 +154,23 @@ func (q *fileQueue) take() *catalog.File {
 type Cluster struct {
 	server  *sqlbatch.Server
 	results []NodeResult
+
+	// active is the number of loader workers currently between start and
+	// finish — the cluster's "ingest in progress" gauge.  Co-scheduled
+	// workloads read it through Busy to classify their own measurements by
+	// load phase (serve.RunMixed samples read latency against it for the
+	// during-ingest p99 headline).
+	active atomic.Int64
 }
+
+// ActiveLoaders returns the number of loader workers currently running.
+func (c *Cluster) ActiveLoaders() int { return int(c.active.Load()) }
+
+// Busy reports whether any loader node is still running.  It is exact on the
+// DES engine (single runner) and a momentary gauge under real concurrency —
+// either way, the window between the first node starting and the last node
+// finishing is the ingest window.
+func (c *Cluster) Busy() bool { return c.active.Load() > 0 }
 
 // Run performs a cluster load of files against server using cfg.Loaders
 // concurrent loader workers, driving the server's scheduler until every node
@@ -252,10 +269,12 @@ func Spawn(server *sqlbatch.Server, files []*catalog.File, cfg Config) (*Cluster
 			res := &results[n]
 			res.Node = n + 1
 			res.StartedAt = w.Now()
+			cl.active.Add(1)
 			conn := server.ConnectWorker(w)
 			defer func() {
 				_ = conn.Close()
 				res.FinishedAt = w.Now()
+				cl.active.Add(-1)
 			}()
 
 			loaderCfg := cfg.Loader

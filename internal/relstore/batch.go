@@ -3,6 +3,7 @@ package relstore
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"slices"
 )
 
@@ -15,7 +16,9 @@ import (
 // path pays each of those once per batch instead:
 //
 //   - every row is coerced up front, before any lock is taken;
-//   - the table's write lock is taken once for the whole batch;
+//   - the table's write lock is taken once for the whole batch (or once per
+//     sub-chunk under WithBatchLockChunk's reader-friendly mode, which trades
+//     a few extra lock round trips for bounded reader wait);
 //   - one group WAL record (WAL.AppendInsertGroup) replaces n mutexed appends;
 //   - lock-manager row locks are registered in one LockRows call;
 //   - secondary indexes are maintained by a sorted bulk merge: the batch's
@@ -201,17 +204,22 @@ func canonicalKind(t ColType) ValueKind {
 	}
 }
 
-// insertBatchLocked validates and stores the built rows under a single
-// write-lock hold, deferring secondary-index maintenance to one sorted bulk
-// pass per index over the applied prefix.  It returns the number of rows
-// applied and the first constraint violation (nil when every row applied).
+// insertBatchLocked validates and stores the built rows under write-lock
+// holds, deferring secondary-index maintenance to sorted bulk passes over the
+// applied prefix.  It returns the number of rows applied and the first
+// constraint violation (nil when every row applied).
 //
-// Locking: the table's own write lock and a read lock on every distinct
-// foreign-key parent are taken once for the whole batch (a self-referential
-// parent reuses the held write lock, and thereby sees parent rows stored
-// earlier in this same batch, exactly as the per-row loop would).  Parent
-// locks nest inside child locks along foreign-key edges only, and the FK
-// graph is acyclic, so the nested acquisition cannot deadlock.
+// With Config.BatchLockChunk == 0 (the default) the whole batch is applied
+// under one table-lock hold.  With BatchLockChunk == n > 0 the batch is
+// applied in sub-chunks of n rows, releasing the table write lock and every
+// parent lock between chunks and yielding the processor, so concurrent
+// readers wait for at most one chunk's critical section instead of the whole
+// batch.  Either way, rows are applied in order with identical first-failure
+// semantics; readers can only observe whole-chunk boundaries (the write lock
+// covers each chunk), and the batch-level epoch/pending accounting in
+// insertBatch is unchanged.  Chunked mode records one undo range per chunk
+// rather than one per batch: ids are only guaranteed contiguous within a
+// chunk, because another writer may interleave between lock holds.
 func (t *Table) insertBatchLocked(db *DB, txn *Txn, built []Row, rep *OpReport) (inserted, firstPage, lastPage int, err error) {
 	sc := txn.sc
 
@@ -221,6 +229,53 @@ func (t *Table) insertBatchLocked(db *DB, txn *Txn, built []Row, rep *OpReport) 
 	// of the per-row path collapse into one.
 	blob, offs := t.encodeBatchKeys(sc, built)
 	stride := 1 + len(t.uniqueCols)
+
+	chunk := db.cfg.BatchLockChunk
+	if chunk <= 0 || chunk >= len(built) {
+		return t.applyBatchChunk(db, txn, built, 0, blob, offs, stride, rep)
+	}
+	firstPage, lastPage = -1, -1
+	for start := 0; start < len(built); start += chunk {
+		end := start + chunk
+		if end > len(built) {
+			end = len(built)
+		}
+		n, fp, lp, cerr := t.applyBatchChunk(db, txn, built[start:end], start, blob, offs, stride, rep)
+		inserted += n
+		if fp >= 0 && firstPage < 0 {
+			firstPage = fp
+		}
+		if lp >= 0 {
+			lastPage = lp
+		}
+		if cerr != nil {
+			return inserted, firstPage, lastPage, cerr
+		}
+		if end < len(built) {
+			// Reader-yield point: the table lock is free here; hand the
+			// processor to any reader (or writer) queued behind this batch
+			// before taking the lock again for the next chunk.
+			runtime.Gosched()
+		}
+	}
+	return inserted, firstPage, lastPage, nil
+}
+
+// applyBatchChunk applies one contiguous run of built rows (a whole batch, or
+// one chunk of it) under a single write-lock hold.  base is the run's offset
+// within the full batch, used to address the batch-wide key encodings.
+//
+// Locking: the table's own write lock and a read lock on every distinct
+// foreign-key parent are taken once for the whole run (a self-referential
+// parent reuses the held write lock, and thereby sees parent rows stored
+// earlier in this same batch, exactly as the per-row loop would).  Parent
+// locks nest inside child locks along foreign-key edges only, and the FK
+// graph is acyclic, so the nested acquisition cannot deadlock.  Chunked mode
+// releases parent locks together with the table lock between chunks — keeping
+// a parent read lock across a re-acquisition of the child lock would invert
+// the nesting order against a concurrent batch and could deadlock.
+func (t *Table) applyBatchChunk(db *DB, txn *Txn, built []Row, base int, blob string, offs []int, stride int, rep *OpReport) (inserted, firstPage, lastPage int, err error) {
+	sc := txn.sc
 	encAt := func(idx int) string {
 		start := 0
 		if idx > 0 {
@@ -238,6 +293,7 @@ func (t *Table) insertBatchLocked(db *DB, txn *Txn, built []Row, rep *OpReport) 
 	var firstErr error
 	firstPage, lastPage = -1, -1
 	for ri, row := range built {
+		ri := base + ri
 		if err := db.checkForeignKeys(sc, t, row, rep, nil, true); err != nil {
 			firstErr = err
 			break
@@ -308,7 +364,9 @@ func (t *Table) insertBatchLocked(db *DB, txn *Txn, built []Row, rep *OpReport) 
 		ids = append(ids, id)
 	}
 
-	// One undo record covers the whole contiguous id run of the batch.
+	// One undo record covers the whole contiguous id run applied under this
+	// lock hold (the full batch in monolithic mode, one chunk in chunked
+	// mode; ids are allocated under the held lock, so the run is contiguous).
 	if len(ids) > 0 {
 		txn.recordInsertRange(t.schema.Name, ids[0], int64(len(ids)))
 		rep.UndoRecords++

@@ -80,9 +80,10 @@ func statsFingerprint(db *DB) string {
 // batchPropertyDB builds the shared test schema with a float secondary index
 // on objects.mag (duplicate-heavy) and seeds a handful of frames rows for
 // foreign keys to point at.
-func batchPropertyDB(t *testing.T) *DB {
+func batchPropertyDB(t *testing.T, extra ...Option) *DB {
 	t.Helper()
-	db := MustOpen(testSchema(t), WithBTreeDegree(3), WithCache(64), WithDirtyFlushPages(8))
+	opts := append([]Option{WithBTreeDegree(3), WithCache(64), WithDirtyFlushPages(8)}, extra...)
+	db := MustOpen(testSchema(t), opts...)
 	// ix_mag exercises the float comparator, ix_frame the raw-int64 sort
 	// path (both duplicate-heavy), and the composite index the generic one.
 	if _, err := db.CreateIndex("objects", "ix_mag", []string{"mag"}, false); err != nil {
@@ -148,16 +149,19 @@ func randomObjectBatch(rng *rand.Rand, base int64, nextID *int64, size int) [][]
 // NULL-PK and type-error rows, InsertBatch must produce exactly the table
 // state, FailedIndex, violation kind and epoch/pending counters of the
 // per-row reference loop — across mid-transaction checks, commits and
-// rollbacks.
+// rollbacks.  The same batches also run through a chunked-lock database
+// (WithBatchLockChunk), which must be indistinguishable from the monolithic
+// path at every observation point.
 func TestInsertBatchMatchesPerRow(t *testing.T) {
 	rng := rand.New(rand.NewSource(20051112))
 	cols := []string{"object_id", "frame_id", "mag"}
 
 	for trial := 0; trial < 60; trial++ {
-		ref := batchPropertyDB(t) // per-row reference
-		got := batchPropertyDB(t) // batch-apply path
+		ref := batchPropertyDB(t)                           // per-row reference
+		got := batchPropertyDB(t)                           // batch-apply path
+		chk := batchPropertyDB(t, WithBatchLockChunk(7))    // chunked-lock batch apply
 		base := int64(trial * 1000)
-		nextRef, nextGot := base, base
+		nextRef, nextGot, nextChk := base, base, base
 
 		refTxn, err := ref.Begin()
 		if err != nil {
@@ -167,60 +171,81 @@ func TestInsertBatchMatchesPerRow(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		chkTxn, err := chk.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
 
 		batches := 1 + rng.Intn(4)
 		for bi := 0; bi < batches; bi++ {
 			size := 1 + rng.Intn(50)
 			seed := rng.Int63()
-			// Generate the identical batch for both engines.
+			// Generate the identical batch for every engine.
 			rows := randomObjectBatch(rand.New(rand.NewSource(seed)), base, &nextRef, size)
 			rows2 := randomObjectBatch(rand.New(rand.NewSource(seed)), base, &nextGot, size)
+			rows3 := randomObjectBatch(rand.New(rand.NewSource(seed)), base, &nextChk, size)
 
 			refIns, refIdx, refErr := perRowApply(refTxn, "objects", cols, rows)
 			br, gotErr := gotTxn.InsertBatch("objects", cols, rows2)
+			cr, chkErr := chkTxn.InsertBatch("objects", cols, rows3)
 
 			if refIns != br.RowsInserted || refIdx != br.FailedIndex {
 				t.Fatalf("trial %d batch %d: per-row (ins=%d idx=%d) vs batch (ins=%d idx=%d)",
 					trial, bi, refIns, refIdx, br.RowsInserted, br.FailedIndex)
 			}
-			if (refErr == nil) != (gotErr == nil) {
-				t.Fatalf("trial %d batch %d: errors diverge: %v vs %v", trial, bi, refErr, gotErr)
+			if refIns != cr.RowsInserted || refIdx != cr.FailedIndex {
+				t.Fatalf("trial %d batch %d: per-row (ins=%d idx=%d) vs chunked (ins=%d idx=%d)",
+					trial, bi, refIns, refIdx, cr.RowsInserted, cr.FailedIndex)
+			}
+			if (refErr == nil) != (gotErr == nil) || (refErr == nil) != (chkErr == nil) {
+				t.Fatalf("trial %d batch %d: errors diverge: %v vs %v vs %v", trial, bi, refErr, gotErr, chkErr)
 			}
 			if refErr != nil {
 				rk, _ := ViolationKind(refErr)
 				gk, _ := ViolationKind(gotErr)
-				if rk != gk {
-					t.Fatalf("trial %d batch %d: violation kinds diverge: %s vs %s (%v vs %v)",
-						trial, bi, rk, gk, refErr, gotErr)
+				ck, _ := ViolationKind(chkErr)
+				if rk != gk || rk != ck {
+					t.Fatalf("trial %d batch %d: violation kinds diverge: %s vs %s vs %s (%v vs %v vs %v)",
+						trial, bi, rk, gk, ck, refErr, gotErr, chkErr)
 				}
 			}
 			// Mid-transaction: rows applied so far and pending counters agree.
-			if rs, gs := engineState(t, ref), engineState(t, got); rs != gs {
+			rs := engineState(t, ref)
+			if gs := engineState(t, got); rs != gs {
 				t.Fatalf("trial %d batch %d: mid-txn state diverges:\n--- per-row ---\n%s--- batch ---\n%s", trial, bi, rs, gs)
+			}
+			if cs := engineState(t, chk); rs != cs {
+				t.Fatalf("trial %d batch %d: mid-txn state diverges:\n--- per-row ---\n%s--- chunked ---\n%s", trial, bi, rs, cs)
 			}
 		}
 
-		// Finish both the same way and compare the settled state.
+		// Finish all three the same way and compare the settled state.
 		if rng.Intn(3) == 0 {
-			if err := refTxn.Rollback(); err != nil {
-				t.Fatal(err)
-			}
-			if err := gotTxn.Rollback(); err != nil {
-				t.Fatal(err)
+			for _, txn := range []*Txn{refTxn, gotTxn, chkTxn} {
+				if err := txn.Rollback(); err != nil {
+					t.Fatal(err)
+				}
 			}
 		} else {
-			if _, err := refTxn.Commit(); err != nil {
-				t.Fatal(err)
-			}
-			if _, err := gotTxn.Commit(); err != nil {
-				t.Fatal(err)
+			for _, txn := range []*Txn{refTxn, gotTxn, chkTxn} {
+				if _, err := txn.Commit(); err != nil {
+					t.Fatal(err)
+				}
 			}
 		}
-		if rs, gs := engineState(t, ref), engineState(t, got); rs != gs {
+		rs := engineState(t, ref)
+		if gs := engineState(t, got); rs != gs {
 			t.Fatalf("trial %d: settled state diverges:\n--- per-row ---\n%s--- batch ---\n%s", trial, rs, gs)
 		}
-		if rs, gs := statsFingerprint(ref), statsFingerprint(got); rs != gs {
-			t.Fatalf("trial %d: stats diverge:\n--- per-row ---\n%s--- batch ---\n%s", trial, rs, gs)
+		if cs := engineState(t, chk); rs != cs {
+			t.Fatalf("trial %d: settled state diverges:\n--- per-row ---\n%s--- chunked ---\n%s", trial, rs, cs)
+		}
+		rf := statsFingerprint(ref)
+		if gf := statsFingerprint(got); rf != gf {
+			t.Fatalf("trial %d: stats diverge:\n--- per-row ---\n%s--- batch ---\n%s", trial, rf, gf)
+		}
+		if cf := statsFingerprint(chk); rf != cf {
+			t.Fatalf("trial %d: stats diverge:\n--- per-row ---\n%s--- chunked ---\n%s", trial, rf, cf)
 		}
 	}
 }

@@ -1,0 +1,86 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchSyncDelay models one fsync on the log device.  100µs is a cheap
+// battery-backed controller; the absolute value only scales the numbers, the
+// grouped/ungrouped ratio is what the benchmark exists to show.
+const benchSyncDelay = 100 * time.Microsecond
+
+// BenchmarkGroupCommit prices commit throughput at 1/4/16 concurrent
+// wall-clock writers with and without group commit, under a modeled WAL sync
+// latency (WithWALSyncDelay).  Ungrouped, W concurrent committers serialize W
+// sync delays on the single log device; grouped, one leader syncs for the
+// whole group.  Each benchmark op is one round of W concurrent
+// single-insert transactions; the headline commits/s metric feeds
+// BENCH_groupcommit.json.
+func BenchmarkGroupCommit(b *testing.B) {
+	for _, writers := range []int{1, 4, 16} {
+		for _, grouped := range []bool{false, true} {
+			mode := "ungrouped"
+			opts := []Option{WithWALSyncDelay(benchSyncDelay)}
+			if grouped {
+				mode = "grouped"
+				opts = append(opts, WithGroupCommit(200*time.Microsecond, 16))
+			}
+			b.Run(fmt.Sprintf("writers_%d/%s", writers, mode), func(b *testing.B) {
+				db := MustOpen(testSchema(b), opts...)
+				seed, err := db.Begin()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := seed.Insert("frames", []string{"frame_id", "exposure"},
+					[]Value{Int(1), Float(30)}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := seed.Commit(); err != nil {
+					b.Fatal(err)
+				}
+				var next atomic.Int64
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					var wg sync.WaitGroup
+					for w := 0; w < writers; w++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							id := next.Add(1)
+							txn, err := db.Begin()
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if _, err := txn.Insert("objects",
+								[]string{"object_id", "frame_id", "mag"},
+								[]Value{Int(id), Int(1), Float(float64(id % 30))}); err != nil {
+								b.Error(err)
+								return
+							}
+							if _, err := txn.Commit(); err != nil {
+								b.Error(err)
+							}
+						}()
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				commits := float64(b.N) * float64(writers)
+				if s := b.Elapsed().Seconds(); s > 0 {
+					b.ReportMetric(commits/s, "commits/s")
+				}
+				if grouped {
+					st := db.WAL().Stats()
+					if st.GroupCommits > 0 {
+						b.ReportMetric(float64(st.GroupedCommits)/float64(st.GroupCommits), "txns/group")
+					}
+				}
+			})
+		}
+	}
+}

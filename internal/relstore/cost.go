@@ -82,6 +82,13 @@ type DBStats struct {
 	IndexesCreated   int64
 	IndexesDropped   int64
 	IndexDDLFailures int64
+	// WALSyncs is the total number of redo-log syncs (per-commit, threshold
+	// and group); GroupCommits counts group syncs, GroupedCommits the commits
+	// they covered, MaxGroupSize the largest single group (see WALStats).
+	WALSyncs       int64
+	GroupCommits   int64
+	GroupedCommits int64
+	MaxGroupSize   int64
 	// IndexKeyBytes is the summed length of the encoded keys stored across
 	// every secondary-index B-tree; IndexArenaBytes is the capacity their key
 	// arenas reserve.  The difference is arena overhead (chunk headroom plus

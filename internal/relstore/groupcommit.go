@@ -1,0 +1,113 @@
+package relstore
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements the goroutine-engine half of group commit (§4.5.2):
+// committing transactions enqueue on a commit queue and ONE of them — the
+// leader — performs a single WAL sync for the whole group, then wakes the
+// waiters.  The paper tunes commit *frequency* to trade durability overhead
+// against redo growth; group commit is the server-side dual of that lever:
+// commit as often as you like, and the log device still sees one force per
+// window instead of one per transaction.
+//
+// Ownership rules (also documented in PERFORMANCE.md):
+//
+//   - Whoever finds no open group opens one and becomes its leader.  The
+//     leader — and only the leader — calls WAL.SyncGroup and closes the
+//     group's done channel; everyone else is a waiter.
+//   - A waiter joins the open group, and the waiter whose join fills the group
+//     to maxWaiters closes it to further joiners and wakes the leader early
+//     (the full channel).  Waiters never sync.
+//   - Every member appends its commit marker (WAL.AppendCommitNoSync) BEFORE
+//     joining, so the group's sync — which forces the whole unsynced tail —
+//     is guaranteed to cover every member's marker.
+//   - A sync failure would be recorded on the group by the leader before done
+//     closes and surfaced to every waiter; the in-memory log cannot fail, so
+//     today that path is vacuous, but the propagation point is the group
+//     object, not the WAL.
+//
+// Timing uses real timers: group commit is a wall-clock-engine feature.  The
+// DES engine never blocks here — its deterministic analogue lives in
+// sqlbatch.Server, which charges the same coalesced SyncGroup cost in virtual
+// time (see Server.finish).
+
+// DefaultGroupCommitWaiters is the group-size cap used when WithGroupCommit
+// is given maxWaiters <= 0.
+const DefaultGroupCommitWaiters = 16
+
+// commitGroup is one commit batch in flight.
+type commitGroup struct {
+	n      int           // members, including the leader; guarded by groupCommitter.mu
+	full   chan struct{} // closed by the waiter whose join caps the group
+	done   chan struct{} // closed by the leader after the group's sync
+	forced int64         // log bytes the group sync forced; written before done closes
+}
+
+// groupCommitter is the commit queue of one DB.  Created by Open when
+// WithGroupCommit is set; nil otherwise (every commit syncs for itself).
+type groupCommitter struct {
+	wal        *WAL
+	window     time.Duration
+	maxWaiters int
+
+	mu  sync.Mutex
+	cur *commitGroup // open group accepting joiners, or nil
+}
+
+func newGroupCommitter(wal *WAL, window time.Duration, maxWaiters int) *groupCommitter {
+	if maxWaiters <= 0 {
+		maxWaiters = DefaultGroupCommitWaiters
+	}
+	return &groupCommitter{wal: wal, window: window, maxWaiters: maxWaiters}
+}
+
+// commit joins the current commit group — opening a new one and becoming its
+// leader when none is open — and returns once a WAL sync covering the
+// caller's already-appended commit marker has completed.  The leader returns
+// the bytes its sync forced; waiters return forced == 0 (their durability
+// cost rode the leader's sync).  size is the final group size.
+func (g *groupCommitter) commit() (forced int64, size int, leader bool) {
+	g.mu.Lock()
+	if grp := g.cur; grp != nil {
+		// Waiter: join the open group.  The join that fills the group closes
+		// it to newcomers and wakes the leader before its window expires.
+		grp.n++
+		if grp.n >= g.maxWaiters {
+			g.cur = nil
+			close(grp.full)
+		}
+		g.mu.Unlock()
+		<-grp.done
+		return 0, grp.n, false
+	}
+	grp := &commitGroup{n: 1, full: make(chan struct{}), done: make(chan struct{})}
+	g.cur = grp
+	g.mu.Unlock()
+
+	// Leader: give waiters up to one window to gather, or less if the group
+	// fills first.
+	if g.window > 0 {
+		t := time.NewTimer(g.window)
+		select {
+		case <-grp.full:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+	g.mu.Lock()
+	if g.cur == grp {
+		// Close the group to joiners BEFORE syncing: a commit arriving from
+		// here on appended its marker after our membership froze, so it must
+		// start (and wait for) its own group rather than believe this sync
+		// covered it.
+		g.cur = nil
+	}
+	n := grp.n
+	g.mu.Unlock()
+	grp.forced = g.wal.SyncGroup(n)
+	close(grp.done)
+	return grp.forced, n, true
+}

@@ -1,0 +1,190 @@
+package relstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitSingle pins the degenerate protocol: with no concurrency a
+// committing transaction is its own leader, the group has size 1, and the
+// sync accounting attributes the commit to exactly one group sync.
+func TestGroupCommitSingle(t *testing.T) {
+	db := MustOpen(testSchema(t), WithGroupCommit(50*time.Microsecond, 8))
+	if !db.GroupCommitEnabled() {
+		t.Fatal("GroupCommitEnabled() = false with WithGroupCommit set")
+	}
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertFrame(t, txn, 1)
+	rep, err := txn.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.GroupLeader || rep.GroupSize != 1 {
+		t.Fatalf("solo commit: leader=%v size=%d, want leader of a group of 1", rep.GroupLeader, rep.GroupSize)
+	}
+	if rep.LogBytesForced == 0 {
+		t.Fatal("solo leader forced no log bytes; the group sync should carry the commit's tail")
+	}
+	st := db.WAL().Stats()
+	if st.GroupCommits != 1 || st.GroupedCommits != 1 || st.MaxGroupSize != 1 {
+		t.Fatalf("group stats = %d/%d/%d, want 1/1/1", st.GroupCommits, st.GroupedCommits, st.MaxGroupSize)
+	}
+	if st.Syncs < st.AutoSyncs+st.GroupCommits {
+		t.Fatalf("sync accounting broken: Syncs %d < AutoSyncs %d + GroupCommits %d",
+			st.Syncs, st.AutoSyncs, st.GroupCommits)
+	}
+}
+
+// TestGroupCommitConcurrentWriters drives many committing transactions
+// through a group-commit database from concurrent goroutines — the -race
+// exercise for the commit-queue protocol.  Every commit must be covered by
+// exactly one group (GroupedCommits == Commits), no group may exceed the
+// waiter cap, and the sync-total invariant must hold with grouped syncs in
+// the mix.
+func TestGroupCommitConcurrentWriters(t *testing.T) {
+	const (
+		writers    = 8
+		commitsPer = 25
+		maxWaiters = 4
+	)
+	db := MustOpen(testSchema(t), WithGroupCommit(200*time.Microsecond, maxWaiters))
+	seed, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertFrame(t, seed, 1)
+	if _, err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	base := db.WAL().Stats()
+
+	var wg sync.WaitGroup
+	var leaders, followers atomic.Int64
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < commitsPer; i++ {
+				id := int64(g*10_000 + i + 1)
+				txn, err := db.Begin()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := insertObject(t, txn, id, 1, float64(id%30)); err != nil {
+					t.Error(err)
+					return
+				}
+				rep, err := txn.Commit()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rep.GroupSize < 1 || rep.GroupSize > maxWaiters {
+					t.Errorf("group size %d outside [1,%d]", rep.GroupSize, maxWaiters)
+					return
+				}
+				if rep.GroupLeader {
+					leaders.Add(1)
+				} else {
+					followers.Add(1)
+					// Followers never force bytes; the leader's sync covers them.
+					if rep.LogBytesForced != 0 {
+						t.Errorf("follower forced %d log bytes, want 0", rep.LogBytesForced)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const total = writers * commitsPer
+	if got := leaders.Load() + followers.Load(); got != total {
+		t.Fatalf("commits observed = %d, want %d", got, total)
+	}
+	st := db.WAL().Stats()
+	if st.Commits-base.Commits != total {
+		t.Fatalf("WAL commits = %d, want %d", st.Commits-base.Commits, total)
+	}
+	// Every commit was woken by a group sync, and leaders match group syncs.
+	if st.GroupedCommits-base.GroupedCommits != total {
+		t.Fatalf("GroupedCommits = %d, want %d (every commit covered by a group)",
+			st.GroupedCommits-base.GroupedCommits, total)
+	}
+	if groups := st.GroupCommits - base.GroupCommits; groups != leaders.Load() {
+		t.Fatalf("GroupCommits = %d, want one per leader (%d)", groups, leaders.Load())
+	}
+	if st.MaxGroupSize > maxWaiters {
+		t.Fatalf("MaxGroupSize = %d exceeds the waiter cap %d", st.MaxGroupSize, maxWaiters)
+	}
+	if st.Syncs < st.AutoSyncs+st.GroupCommits {
+		t.Fatalf("sync accounting broken: Syncs %d < AutoSyncs %d + GroupCommits %d",
+			st.Syncs, st.AutoSyncs, st.GroupCommits)
+	}
+	if n, _ := db.Count("objects"); n != total {
+		t.Fatalf("objects = %d, want %d", n, total)
+	}
+	if st2 := db.Stats(); st2.GroupCommits != st.GroupCommits || st2.GroupedCommits != st.GroupedCommits ||
+		st2.MaxGroupSize != st.MaxGroupSize || st2.WALSyncs != st.Syncs {
+		t.Fatalf("DBStats does not mirror WALStats: %+v vs %+v", st2, st)
+	}
+}
+
+// TestGroupCommitWindowCoalesces checks that the window actually coalesces:
+// with a generous window and commits arriving from enough goroutines, at
+// least one group must contain more than one transaction, and the WAL must
+// record fewer group syncs than commits.
+func TestGroupCommitWindowCoalesces(t *testing.T) {
+	const writers = 8
+	db := MustOpen(testSchema(t), WithGroupCommit(2*time.Millisecond, writers))
+	seed, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertFrame(t, seed, 1)
+	if _, err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A barrier start maximizes the chance all writers land in one window;
+	// retry a few rounds to keep the test robust on a loaded host.
+	for round := 0; round < 20; round++ {
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				txn, err := db.Begin()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				id := int64(round*1000 + g + 1)
+				if err := insertObject(t, txn, id, 1, float64(id%30)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := txn.Commit(); err != nil {
+					t.Error(err)
+				}
+			}(g)
+		}
+		close(start)
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		if db.WAL().Stats().MaxGroupSize > 1 {
+			return // coalescing observed
+		}
+	}
+	t.Fatalf("no commit group ever exceeded size 1: %+v", db.WAL().Stats())
+}

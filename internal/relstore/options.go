@@ -1,6 +1,9 @@
 package relstore
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // IndexPolicy selects when a secondary index is maintained relative to a bulk
 // load.  It is the engine-level expression of the paper's biggest loading
@@ -95,6 +98,47 @@ func WithDirtyFlushPages(n int) Option {
 // engine's historical behaviour.
 func WithWALSync(bytes int64) Option {
 	return func(o *openConfig) { o.cfg.WALSyncBytes = bytes }
+}
+
+// WithGroupCommit enables group commit (§4.5.2): committing transactions
+// enqueue on a commit queue, one leader performs a single WAL sync for the
+// whole group, and the waiters ride that sync instead of forcing the log
+// themselves.  window is how long a leader gathers waiters before syncing;
+// maxWaiters caps the group size (a full group syncs early; <= 0 means
+// DefaultGroupCommitWaiters).  window <= 0 leaves group commit off.
+//
+// The queue blocks committers on real timers and channels, so it is a
+// wall-clock-engine feature; DES-mode cost accounting charges the same
+// coalesced sync cost through Txn.CommitUnsynced + WAL.SyncGroup instead
+// (sqlbatch.Server does this automatically when it sees group commit on a
+// deterministic scheduler).
+func WithGroupCommit(window time.Duration, maxWaiters int) Option {
+	return func(o *openConfig) {
+		o.cfg.GroupCommitWindow = window
+		o.cfg.GroupCommitMaxWaiters = maxWaiters
+	}
+}
+
+// WithBatchLockChunk makes InsertBatch reader-friendly: the batch is applied
+// in sub-chunks of n rows, releasing and re-acquiring the table write lock
+// between chunks with a scheduling yield, so concurrent readers wait for at
+// most one chunk instead of a whole ~1000-row batch.  Batch-level semantics
+// (first-failure FailedIndex, epoch movement, WAL group record, rollback) are
+// unchanged; readers observe only whole-chunk boundaries.  n <= 0 (the
+// default) applies the batch under one lock hold.
+func WithBatchLockChunk(n int) Option {
+	return func(o *openConfig) { o.cfg.BatchLockChunk = n }
+}
+
+// WithWALSyncDelay models the redo-device fsync latency in wall-clock mode:
+// every commit-driven log sync holds the single log device for d.  It exists
+// so the §4.5.2 commit-frequency trade-off is measurable in real time on an
+// engine whose log is otherwise free in-memory bookkeeping — with a real
+// per-sync latency, group commit's one-force-per-window shows up as commit
+// throughput.  0 (the default) keeps syncs free; DES runs should leave it 0
+// (virtual sync cost comes from the cost model, not real sleeps).
+func WithWALSyncDelay(d time.Duration) Option {
+	return func(o *openConfig) { o.cfg.WALSyncDelay = d }
 }
 
 // WithIndexPolicy sets the default maintenance policy for indexes created by

@@ -115,7 +115,9 @@ func (t *Txn) Insert(table string, columns []string, values []Value) (OpReport, 
 
 // CommitReport describes the physical work performed by a commit.
 type CommitReport struct {
-	// LogBytesForced is the redo volume the commit had to sync.
+	// LogBytesForced is the redo volume the commit had to sync.  Under group
+	// commit only the group leader carries forced bytes; a waiter's sync cost
+	// rode the leader's force, so it reports 0.
 	LogBytesForced int64
 	// DirtyPagesWritten is the number of dirty cache pages flushed.
 	DirtyPagesWritten int
@@ -124,14 +126,60 @@ type CommitReport struct {
 	CacheScanPages int
 	// UndoRecordsDiscarded is the length of the undo log released.
 	UndoRecordsDiscarded int
+	// GroupSize is the number of commits that shared this commit's log sync
+	// (including this one); 0 when the commit synced outside group commit.
+	// GroupLeader reports whether this commit performed the group's sync.
+	GroupSize   int
+	GroupLeader bool
 }
 
 // Commit makes the transaction's inserts durable and ends the transaction.
+//
+// With group commit enabled (WithGroupCommit) the commit marker is appended
+// without an immediate sync, the transaction's effects are published (epochs
+// settled, locks released) and THEN the call blocks until a group leader's
+// shared sync covers the marker — so other transactions and readers are never
+// held up by the durability wait, only the committing caller is.  This is a
+// wall-clock-engine feature: DES-mode cost accounting uses CommitUnsynced
+// plus an explicit WAL.SyncGroup instead (see sqlbatch.Server).
 func (t *Txn) Commit() (CommitReport, error) {
 	if !t.active {
 		return CommitReport{}, ErrTxnNotActive
 	}
-	forced := t.db.wal.AppendCommit()
+	group := t.db.group
+	var forced int64
+	if group != nil {
+		t.db.wal.AppendCommitNoSync()
+	} else {
+		forced = t.db.wal.AppendCommit()
+	}
+	rep := t.finishCommit(forced)
+	if group != nil {
+		rep.LogBytesForced, rep.GroupSize, rep.GroupLeader = group.commit()
+	}
+	return rep, nil
+}
+
+// CommitUnsynced is Commit without the log sync: the commit marker is
+// appended to the unsynced tail and the transaction ends immediately.  The
+// caller owns durability — a later WAL.SyncGroup (or any commit's sync) must
+// cover the marker.  It exists for cost-model callers that coalesce syncs
+// themselves: the DES engine's group-commit analogue commits transactions
+// this way and charges one SyncGroup per virtual window, giving virtual-time
+// figures the same §4.5.2 coalescing the goroutine engine gets from the real
+// commit queue.
+func (t *Txn) CommitUnsynced() (CommitReport, error) {
+	if !t.active {
+		return CommitReport{}, ErrTxnNotActive
+	}
+	t.db.wal.AppendCommitNoSync()
+	return t.finishCommit(0), nil
+}
+
+// finishCommit performs the engine-side half of a commit — dirty-page flush,
+// epoch settling, lock release, counters — after the caller has appended the
+// commit marker.  It ends the transaction.
+func (t *Txn) finishCommit(forced int64) CommitReport {
 	written, scanned := t.db.cache.FlushDirty()
 	rep := CommitReport{
 		LogBytesForced:       forced,
@@ -143,7 +191,7 @@ func (t *Txn) Commit() (CommitReport, error) {
 	t.db.locks.ReleaseAll(t.id)
 	t.db.counters.commits.Add(1)
 	t.end()
-	return rep, nil
+	return rep
 }
 
 // settleEpochs advances the commit epoch of every table this transaction

@@ -1,6 +1,9 @@
 package relstore
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // WAL models the redo log.  The engine is in-memory, so the log exists for
 // cost accounting and for reasoning about the commit-frequency trade-off the
@@ -17,13 +20,26 @@ type WAL struct {
 	// behaviour: the log syncs only at commit).  Immutable after creation.
 	syncThreshold int64
 
+	// syncDelay models the redo-device fsync latency in wall-clock mode: every
+	// commit-driven sync (AppendCommit, SyncGroup) holds the device for this
+	// long.  The log device is one spindle, so concurrent syncs serialize on
+	// syncMu — which is exactly the serialization group commit exists to
+	// amortize.  0 (the default, and the only value the §5 DES figures use)
+	// makes syncs free, as before.  Immutable after creation.
+	syncDelay time.Duration
+	syncMu    sync.Mutex
+
 	mu             sync.Mutex
 	records        int64
 	groupRecords   int64
 	groupedRows    int64
 	bytes          int64
 	commits        int64
+	syncs          int64
 	autoSyncs      int64
+	groupSyncs     int64
+	groupedCommits int64
+	maxGroupSize   int64
 	bytesSinceSync int64
 	maxUnsynced    int64
 }
@@ -54,6 +70,7 @@ func (w *WAL) advanceUnsyncedLocked(n int64) {
 	}
 	if w.syncThreshold > 0 && w.bytesSinceSync >= w.syncThreshold {
 		w.autoSyncs++
+		w.syncs++
 		w.bytesSinceSync = 0
 	}
 }
@@ -81,18 +98,70 @@ func (w *WAL) AppendInsertGroup(n, payloadBytes int) int {
 	return size
 }
 
+// commitMarker is the size of a commit record in the redo stream.
+const commitMarker = 48
+
 // AppendCommit records a commit marker and a log sync; it returns the number
 // of unsynced bytes that the sync had to force to disk.
 func (w *WAL) AppendCommit() int64 {
-	const marker = 48
+	w.mu.Lock()
+	w.records++
+	w.bytes += commitMarker
+	w.commits++
+	w.syncs++
+	forced := w.bytesSinceSync + commitMarker
+	w.bytesSinceSync = 0
+	w.mu.Unlock()
+	w.syncDevice()
+	return forced
+}
+
+// AppendCommitNoSync records a commit marker WITHOUT syncing the log, leaving
+// the marker in the unsynced tail, and returns the tail's current size.  It is
+// the enqueue half of group commit: the committer appends its marker here and
+// then waits for a leader's SyncGroup to cover it (the goroutine-engine queue
+// in groupcommit.go, or the DES engine's virtual group in sqlbatch).  Until
+// that sync runs the commit is not durable.
+func (w *WAL) AppendCommitNoSync() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.records++
-	w.bytes += marker
+	w.bytes += commitMarker
 	w.commits++
-	forced := w.bytesSinceSync + marker
+	w.advanceUnsyncedLocked(commitMarker)
+	return w.bytesSinceSync
+}
+
+// SyncGroup performs one log sync on behalf of a group of `commits` commit
+// markers already appended via AppendCommitNoSync, and returns the number of
+// unsynced bytes it forced.  One SyncGroup call replaces `commits` per-commit
+// syncs — the whole point of group commit (§4.5.2: fewer, larger forces).
+func (w *WAL) SyncGroup(commits int) int64 {
+	w.mu.Lock()
+	forced := w.bytesSinceSync
 	w.bytesSinceSync = 0
+	w.syncs++
+	w.groupSyncs++
+	w.groupedCommits += int64(commits)
+	if int64(commits) > w.maxGroupSize {
+		w.maxGroupSize = int64(commits)
+	}
+	w.mu.Unlock()
+	w.syncDevice()
 	return forced
+}
+
+// syncDevice holds the (single) log device for the configured fsync latency.
+// Counter updates happen before the hold, outside w.mu, so appends from other
+// writers are not blocked while the device is busy — only other syncs are,
+// which is the real serialization group commit amortizes.
+func (w *WAL) syncDevice() {
+	if w.syncDelay <= 0 {
+		return
+	}
+	w.syncMu.Lock()
+	time.Sleep(w.syncDelay)
+	w.syncMu.Unlock()
 }
 
 // WALStats is a snapshot of redo-log counters.
@@ -102,9 +171,21 @@ type WALStats struct {
 	GroupedRows  int64
 	Bytes        int64
 	Commits      int64
+	// Syncs is the total number of log syncs from every cause: per-commit
+	// syncs (AppendCommit), threshold syncs (AutoSyncs) and group-commit
+	// syncs (GroupCommits).  Syncs >= AutoSyncs + GroupCommits always holds;
+	// the difference is the plain per-commit syncs.
+	Syncs int64
 	// AutoSyncs counts syncs forced by the WithWALSync threshold rather than
 	// by a commit.
-	AutoSyncs        int64
+	AutoSyncs int64
+	// GroupCommits counts group syncs: SyncGroup calls, each covering one
+	// whole commit group.  GroupedCommits is the total number of commits those
+	// groups contained and MaxGroupSize the largest single group, so
+	// GroupedCommits/GroupCommits is the mean coalescing factor.
+	GroupCommits     int64
+	GroupedCommits   int64
+	MaxGroupSize     int64
 	MaxUnsyncedBytes int64
 }
 
@@ -118,7 +199,11 @@ func (w *WAL) Stats() WALStats {
 		GroupedRows:      w.groupedRows,
 		Bytes:            w.bytes,
 		Commits:          w.commits,
+		Syncs:            w.syncs,
 		AutoSyncs:        w.autoSyncs,
+		GroupCommits:     w.groupSyncs,
+		GroupedCommits:   w.groupedCommits,
+		MaxGroupSize:     w.maxGroupSize,
 		MaxUnsyncedBytes: w.maxUnsynced,
 	}
 }

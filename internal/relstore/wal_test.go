@@ -44,6 +44,13 @@ func TestWALAppendAccounting(t *testing.T) {
 	if st.Commits != 1 || st.Records != 3 {
 		t.Fatalf("Commits/Records = %d/%d, want 1/3", st.Commits, st.Records)
 	}
+	if st.Syncs != 1 {
+		t.Fatalf("Syncs = %d, want 1 (the commit's sync)", st.Syncs)
+	}
+	if st.Syncs < st.AutoSyncs+st.GroupCommits {
+		t.Fatalf("sync accounting broken: Syncs %d < AutoSyncs %d + GroupCommits %d",
+			st.Syncs, st.AutoSyncs, st.GroupCommits)
+	}
 	// The high-water mark survives the sync.
 	if st.MaxUnsyncedBytes != wantBytes {
 		t.Fatalf("MaxUnsyncedBytes = %d after sync, want %d", st.MaxUnsyncedBytes, wantBytes)
@@ -154,6 +161,16 @@ func TestWALConcurrentWriters(t *testing.T) {
 	if st.Commits != commitMarkers.Load() {
 		t.Fatalf("Commits = %d, want %d", st.Commits, commitMarkers.Load())
 	}
+	// Every AppendCommit syncs on this path (no auto-sync threshold, no group
+	// commit), so the sync total is exactly the commit count — and the general
+	// invariant Syncs >= AutoSyncs + GroupCommits must hold.
+	if st.Syncs != commitMarkers.Load() {
+		t.Fatalf("Syncs = %d, want %d (one per commit)", st.Syncs, commitMarkers.Load())
+	}
+	if st.Syncs < st.AutoSyncs+st.GroupCommits {
+		t.Fatalf("sync accounting broken: Syncs %d < AutoSyncs %d + GroupCommits %d",
+			st.Syncs, st.AutoSyncs, st.GroupCommits)
+	}
 	if st.MaxUnsyncedBytes < lastMax {
 		t.Fatalf("final MaxUnsyncedBytes %d below observed %d", st.MaxUnsyncedBytes, lastMax)
 	}
@@ -182,6 +199,9 @@ func TestWALAutoSyncThreshold(t *testing.T) {
 	forced := w.AppendCommit()
 	if forced != 48 {
 		t.Fatalf("commit forced %d bytes, want only the marker (48) after an auto-sync", forced)
+	}
+	if st := w.Stats(); st.Syncs != st.AutoSyncs+1 {
+		t.Fatalf("Syncs = %d, want AutoSyncs %d + the commit's sync", st.Syncs, st.AutoSyncs)
 	}
 
 	w0 := NewWAL(0)

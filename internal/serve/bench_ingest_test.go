@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"testing"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/core"
+	"skyloader/internal/exec"
+	"skyloader/internal/parallel"
+	"skyloader/internal/relstore"
+	"skyloader/internal/sqlbatch"
+	"skyloader/internal/tuning"
+)
+
+// BenchmarkMixedIngestP99 measures the PR's headline number: read latency
+// p99 sampled over the window where loader goroutines are active, with the
+// batch apply path holding the table write lock monolithically versus in
+// reader-friendly sub-chunks (WithBatchLockChunk).  Each op is one full mixed
+// run on the realtime engine; the during-ingest p99 (ms) and ingest rows/s
+// are reported so the read-latency/ingest-throughput trade-off is visible in
+// one row.  Feeds BENCH_groupcommit.json.
+func BenchmarkMixedIngestP99(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts []relstore.Option
+	}{
+		{name: "monolithic"},
+		{name: "chunked_64", opts: []relstore.Option{relstore.WithBatchLockChunk(64)}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			// The load must span several Go scheduler preemption quanta on a
+			// 1-CPU host, or a monolithic run can serve the whole trace after
+			// the loaders finish and the ingest window is empty — hence the
+			// row-dense files (40k rows, a few hundred ms of wall-clock load).
+			files := catalog.GenerateNight(catalog.NightSpec{
+				TotalMB: 40, Files: 4, RowsPerMB: 1000, Seed: 47, RunID: 1,
+			})
+			trace := benchTrace(2000, 0.4)
+			var p99Sum, rpsSum float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched := exec.NewRealtime(exec.RealtimeConfig{Seed: 1})
+				db := relstore.MustOpen(catalog.NewSchema(), mode.opts...)
+				txn, err := db.Begin()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := catalog.SeedReference(txn, 8); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := txn.Commit(); err != nil {
+					b.Fatal(err)
+				}
+				if err := tuning.ApplyIndexPolicy(db, tuning.HTMIDOnly); err != nil {
+					b.Fatal(err)
+				}
+				load := sqlbatch.NewServerOn(sched, db, sqlbatch.DefaultServerConfig(), sqlbatch.DefaultCostModel())
+				qs := NewServer(sched, db, Config{Workers: 2, QueueDepth: 1 << 20})
+				res, err := RunMixed(load, files, parallel.Config{
+					// Large batches stretch each table-lock hold, which is the
+					// contention the chunked mode exists to bound.
+					Loaders: 2,
+					Loader:  core.Config{BatchSize: 1000, ArraySize: 1000},
+				}, qs, trace)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Serve.DuringIngestServed == 0 {
+					b.Fatal("no reads landed in the ingest window; shrink the trace rate or grow the files")
+				}
+				p99Sum += float64(res.Serve.DuringIngest.P99) / 1e6
+				rpsSum += res.IngestRowsPerSec
+			}
+			b.StopTimer()
+			b.ReportMetric(p99Sum/float64(b.N), "p99-ms")
+			b.ReportMetric(rpsSum/float64(b.N), "ingest-rows/s")
+		})
+	}
+}

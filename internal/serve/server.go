@@ -135,6 +135,15 @@ type Server struct {
 	classes map[string]*classState
 	wait    *metrics.Histogram
 
+	// ingestProbe, when installed via ObserveIngest, classifies each served
+	// request by load phase: latencies observed while the probe reports
+	// ingest active are additionally recorded in the during-ingest histogram
+	// — the mixed report's headline ("read p99 DURING ingest", not diluted by
+	// the quiet tail after loaders finish).
+	ingestProbe  func() bool
+	ingest       *metrics.Histogram
+	ingestServed atomic.Int64
+
 	requests atomic.Int64
 	served   atomic.Int64
 	shed     atomic.Int64
@@ -168,6 +177,7 @@ func NewServer(sched exec.Scheduler, db *relstore.DB, cfg Config) *Server {
 		workers: sched.NewResource("query-workers", cfg.Workers),
 		classes: make(map[string]*classState, 4),
 		wait:    metrics.NewHistogram(),
+		ingest:  metrics.NewHistogram(),
 	}
 	if cfg.CacheShards > 0 {
 		s.cache = NewCache(cfg.CacheShards, cfg.CacheEntriesPerShard)
@@ -183,6 +193,22 @@ func (s *Server) DB() *relstore.DB { return s.db }
 
 // Cache returns the result cache (nil when disabled).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// ObserveIngest installs the ingest-phase probe: while probe() reports true,
+// every served request's latency is additionally recorded in the
+// during-ingest histogram (Report.DuringIngest).  RunMixed installs the load
+// cluster's Busy gauge here; install before the trace runs.
+func (s *Server) ObserveIngest(probe func() bool) { s.ingestProbe = probe }
+
+// observeLatency records one served request's latency, classifying it into
+// the during-ingest histogram when the ingest probe reports loaders active.
+func (s *Server) observeLatency(cls *classState, d time.Duration) {
+	cls.latency.Observe(d)
+	if s.ingestProbe != nil && s.ingestProbe() {
+		s.ingest.Observe(d)
+		s.ingestServed.Add(1)
+	}
+}
 
 // SpawnTrace registers one worker per request on the scheduler, starting at
 // each request's arrival offset.  The workers do not run until the scheduler
@@ -264,7 +290,7 @@ func (s *Server) handle(w exec.Worker, q queries.Query) {
 			cls.hits.Add(1)
 			cls.served.Add(1)
 			s.served.Add(1)
-			cls.latency.Observe(w.Now() - arrived)
+			s.observeLatency(cls, w.Now()-arrived)
 			return
 		}
 	}
@@ -291,7 +317,7 @@ func (s *Server) handle(w exec.Worker, q queries.Query) {
 	}
 	cls.served.Add(1)
 	s.served.Add(1)
-	cls.latency.Observe(w.Now() - arrived)
+	s.observeLatency(cls, w.Now()-arrived)
 }
 
 // ClassReport is the per-query-class slice of a Report.
@@ -324,6 +350,13 @@ type Report struct {
 	Cache     CacheStats
 	QueueWait metrics.HistogramSummary
 	Classes   []ClassReport
+
+	// DuringIngest summarizes the latency of requests served while the ingest
+	// probe reported loaders active (see ObserveIngest), all classes pooled;
+	// DuringIngestServed counts them.  Both are zero when no probe was
+	// installed or no request overlapped the load window.
+	DuringIngest       metrics.HistogramSummary
+	DuringIngestServed int64
 }
 
 // Report snapshots the serving counters after a run of the scheduler.
@@ -344,6 +377,10 @@ func (s *Server) Report(elapsed time.Duration) Report {
 		Errors:     s.errors.Load(),
 		Unstable:   s.unstable.Load(),
 		QueueWait:  s.wait.Summary(),
+	}
+	if n := s.ingestServed.Load(); n > 0 {
+		rep.DuringIngestServed = n
+		rep.DuringIngest = s.ingest.Summary()
 	}
 	if s.cache != nil {
 		rep.Cache = s.cache.Stats()
@@ -381,6 +418,10 @@ func (r Report) Render(w io.Writer) error {
 	fmt.Fprintf(w, "cache: %.1f%% hit rate (%d hits, %d misses, %d stale, %d entries)\n",
 		r.Cache.HitRate()*100, r.Cache.Hits, r.Cache.Misses, r.Cache.StaleHits, r.Cache.Entries)
 	fmt.Fprintf(w, "queue wait: %s\n", r.QueueWait)
+	if r.DuringIngestServed > 0 {
+		fmt.Fprintf(w, "read p99 during ingest: %.3f ms (p50 %.3f ms, %d reads served while loaders active)\n",
+			float64(r.DuringIngest.P99)/1e6, float64(r.DuringIngest.P50)/1e6, r.DuringIngestServed)
+	}
 
 	t := &metrics.Table{
 		Title:   "per-class latency",
