@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench smoke
+.PHONY: all build vet test race bench smoke smoke-http
 
 all: build vet test
 
@@ -33,6 +33,14 @@ bench:
 	$(GO) test -run '^$$' -bench 'IndexLoadPolicy' -benchtime=1x ./internal/relstore/
 	$(GO) test -run '^$$' -bench 'GroupCommit' -benchtime=20x ./internal/relstore/
 	$(GO) test -run '^$$' -bench 'MixedIngestP99' -benchtime=1x ./internal/serve/
+	$(GO) test -run '^$$' -bench 'ServeHTTPQuery|MetricsScrape' -benchtime=100x ./internal/httpserve/
 
 smoke:
 	$(GO) run ./cmd/skyserve -smoke
+
+# HTTP front-door smoke: loads a tiny catalog, serves the query API over a
+# real socket, answers one query per class and validates its own /metrics
+# scrape (shared PromValid checker).  Exercises the full skyserve -http path
+# CI can't reach in-process.
+smoke-http:
+	$(GO) run ./cmd/skyserve -http 127.0.0.1:0 -smoke

@@ -247,9 +247,9 @@ func reportWallclock(rt, sim parallel.Result, db *relstore.DB, loaders int, verb
 		fmt.Printf("  node %d: files=%d rows=%d elapsed=%s (%.3f MB/s)\n",
 			n.Node, len(n.FilesDone), n.Stats.RowsLoaded, el.Round(1e6), mbps)
 	}
-	if st := db.Stats(); st.GroupCommits > 0 {
+	if st := db.StatsSnapshot(); st.WAL.GroupCommits > 0 {
 		fmt.Printf("group commit:        %d groups covering %d commits (largest group %d)\n",
-			st.GroupCommits, st.GroupedCommits, st.MaxGroupSize)
+			st.WAL.GroupCommits, st.WAL.GroupedCommits, st.WAL.MaxGroupSize)
 	}
 	fmt.Printf("virtual-time prediction (paper hardware): %s\n", sim.WallTime)
 	if rt.WallTime > 0 {

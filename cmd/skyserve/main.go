@@ -11,6 +11,16 @@
 //	skyserve -trace trace.csv -size 20                  # replay a skygen trace
 //	skyserve -fig8 -queries 2000                        # index policies, live
 //	skyserve -smoke                                     # tiny end-to-end check
+//	skyserve -http :8080 -size 20                       # load, then serve HTTP
+//	skyserve -http 127.0.0.1:0 -smoke                   # HTTP self-scrape check
+//
+// -http loads the catalog and then serves the query API over HTTP (see
+// internal/httpserve: /v1/cone, /v1/object, /v1/frame, /v1/maghist, plus
+// /metrics in Prometheus text format, /healthz, /debug/traces and
+// /debug/pprof) until interrupted.  The HTTP front door requires the
+// realtime engine; cmd/skystorm is the matching load driver.  With -smoke
+// the server starts, answers one query per class, validates its own
+// /metrics scrape and exits.
 //
 // Execution engines: -engine des serves in deterministic virtual time (query
 // latency modeled by a cost model — reproducible capacity planning); -engine
@@ -67,6 +77,9 @@ func main() {
 		cacheSz  = flag.Int("cache", 128, "result-cache entries per shard (negative disables the cache)")
 		shards   = flag.Int("cache-shards", 8, "result-cache shard count")
 
+		httpAddr   = flag.String("http", "", "serve the query API over HTTP on this address (realtime engine)")
+		traceEvery = flag.Int("trace-every", 16, "HTTP mode: sample one request in N into the trace ring")
+
 		mixed  = flag.Bool("mixed", false, "serve queries WHILE bulk loading runs (default: load first)")
 		engine = flag.String("engine", "", "des|realtime|both (default: des, or both with -mixed/-smoke)")
 		fig8   = flag.Bool("fig8", false, "sweep index policies over the mixed workload (DES)")
@@ -80,9 +93,11 @@ func main() {
 
 	if *smoke {
 		*size, *nfiles, *nQueries, *loaders, *workers = 4, 2, 400, 2, 2
-		*mixed = true
-		if *engine == "" {
-			*engine = "both"
+		if *httpAddr == "" {
+			*mixed = true
+			if *engine == "" {
+				*engine = "both"
+			}
 		}
 	}
 	if *engine == "" {
@@ -127,6 +142,11 @@ func main() {
 	}
 	if *lockChunk > 0 {
 		ingestOpts = append(ingestOpts, relstore.WithBatchLockChunk(*lockChunk))
+	}
+
+	if *httpAddr != "" {
+		runHTTP(*httpAddr, *seed, prof, files, serveCfg, *loaders, ingestOpts, *traceEvery, *smoke)
+		return
 	}
 
 	if *fig8 {

@@ -77,6 +77,20 @@ type ResourceStats struct {
 	Utilization float64
 }
 
+// InlineRunner is the optional scheduler capability the network front door
+// needs: running a worker body synchronously on the calling goroutine, so a
+// transport that already owns a goroutine per request (an HTTP handler) can
+// enter the scheduler's resource discipline without a spawn/join round trip.
+// The realtime scheduler implements it — a goroutine is a goroutine, only
+// the Worker handle matters.  The DES scheduler deliberately does not:
+// virtual time has no meaning for a caller arriving on a real socket, and
+// the kernel's single-runner discipline cannot admit foreign goroutines.
+type InlineRunner interface {
+	// RunInline executes fn with a Worker on the calling goroutine and
+	// returns when fn does.
+	RunInline(name string, fn func(Worker))
+}
+
 // Scheduler runs workers against a shared clock and a set of resources.
 type Scheduler interface {
 	Clock

@@ -67,6 +67,16 @@ func (rt *Realtime) SpawnAt(d time.Duration, name string, fn func(Worker)) {
 	}()
 }
 
+// RunInline executes fn with a realtime Worker on the calling goroutine,
+// implementing InlineRunner.  The caller's goroutine stands in for a spawned
+// worker: it may acquire and release resources (FIFO-fair with spawned
+// workers) and read the scheduler clock.  Inline work is intentionally NOT
+// tracked by Run's wait group — a long-lived network server calls RunInline
+// per request while Run-driven workloads come and go.
+func (rt *Realtime) RunInline(name string, fn func(Worker)) {
+	fn(&rtWorker{rt: rt, name: name})
+}
+
 // NewResource creates a mutex/condition-backed counted resource.
 func (rt *Realtime) NewResource(name string, capacity int) Resource {
 	if capacity <= 0 {

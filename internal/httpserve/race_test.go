@@ -1,0 +1,62 @@
+package httpserve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"skyloader/internal/metrics"
+	"skyloader/internal/queries"
+)
+
+// TestScrapeUnderQueryLoad races /metrics scrapes against query traffic and
+// validates every payload: the exporter reads live atomics, so a scrape
+// mid-flight must still be structurally valid (cumulative-monotone buckets,
+// _count == +Inf) even while every counter it touches is moving.  Run with
+// -race this is also the exporter's data-race test.
+func TestScrapeUnderQueryLoad(t *testing.T) {
+	env := newHTTPEnv(t, Config{TraceEvery: 4})
+	h := env.front.Handler()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var u string
+				switch i % 3 {
+				case 0:
+					u, _ = QueryURL(queries.ObjectLookup{ObjectID: int64(100_000_000 + i%40)})
+				case 1:
+					u, _ = QueryURL(queries.Cone{RA: float64(i % 350), Dec: -10, RadiusDeg: 1.5})
+				default:
+					u, _ = QueryURL(queries.FrameObjects{FrameID: int64(1 + i%8)})
+				}
+				req := httptest.NewRequest("GET", u, nil)
+				h.ServeHTTP(httptest.NewRecorder(), req)
+				i++
+			}
+		}(g)
+	}
+
+	for scrape := 0; scrape < 50; scrape++ {
+		var sb strings.Builder
+		if err := env.front.WriteMetrics(&sb); err != nil {
+			t.Fatalf("scrape %d: %v", scrape, err)
+		}
+		if _, err := metrics.PromValid(sb.String()); err != nil {
+			t.Fatalf("scrape %d invalid under load: %v", scrape, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

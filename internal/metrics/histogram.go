@@ -124,6 +124,73 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.Max()
 }
 
+// Buckets snapshots the raw bucket counts alongside each bucket's inclusive
+// upper bound.  Bucket i counts observations d with bounds[i-1] < d <=
+// bounds[i] (bucket 0 additionally absorbs everything below the histogram
+// floor); the last bucket is open-ended and its bound is the largest
+// representable duration, so exporters emitting cumulative `le` buckets
+// append their own +Inf.  The two slices are freshly allocated: snapshotting
+// never blocks or is blocked by concurrent Observe calls.
+func (h *Histogram) Buckets() (counts []int64, bounds []time.Duration) {
+	counts = make([]int64, histBuckets)
+	bounds = make([]time.Duration, histBuckets)
+	for i := 0; i < histBuckets; i++ {
+		counts[i] = h.counts[i].Load()
+		bounds[i] = bucketBound(i)
+	}
+	return counts, bounds
+}
+
+// bucketBound returns the inclusive upper bound of a bucket: the largest
+// duration bucketIndex maps to it.  The geometric edge is only a float
+// estimate of that integer nanosecond, so it is corrected against
+// bucketIndex itself — the bound is exact by construction, which is what
+// lets the cumulative `le` exposition promise "observations <= bound".
+// The final bucket is unbounded.
+func bucketBound(idx int) time.Duration {
+	if idx >= histBuckets-1 {
+		return time.Duration(math.MaxInt64)
+	}
+	b := time.Duration(math.Exp2(histLog2MinValue + float64(idx+1)/histInvLog2Spacing))
+	for b > 0 && bucketIndex(b) > idx {
+		b--
+	}
+	for bucketIndex(b+1) <= idx {
+		b++
+	}
+	return b
+}
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Merge folds o's observations into h bucket by bucket, so per-client or
+// per-shard histograms can be combined into one exposition series.  Merging
+// is linear and loss-free (both histograms share the fixed bucket table);
+// quantiles of the merged histogram are exactly what a single histogram
+// observing both streams would report, except Max, which is the max of the
+// two tracked maxima (still exact).  o is read with the same atomic loads a
+// snapshot uses, so merging a live histogram is safe.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := 0; i < histBuckets; i++ {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+}
+
 // HistogramSummary is a point-in-time digest of a histogram.
 type HistogramSummary struct {
 	Count         int64

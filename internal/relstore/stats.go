@@ -1,0 +1,81 @@
+package relstore
+
+// IndexStat is the per-index slice of a StatsSnapshot: the key/arena memory
+// accounting DBStats aggregates, broken out by index, plus the readiness the
+// health probe gates on.
+type IndexStat struct {
+	Table, Name string
+	Unique      bool
+	// Ready mirrors Index.Ready: false for a deferred-policy index between
+	// BeginLoad and Seal.
+	Ready bool
+	// KeyBytes is the summed length of the encoded keys the index stores;
+	// ArenaBytes the capacity its key arenas reserve (see DBStats).
+	KeyBytes, ArenaBytes int64
+}
+
+// StatsSnapshot is the one-call statistics surface of a database: engine
+// counters, redo-log counters, buffer-cache counters and per-index memory in
+// a single struct, taken as close together as the component locks allow.
+// Exporters and reports consume this instead of reaching into
+// DB.Stats() + WAL().Stats() + Cache().Stats() separately — one accessor,
+// one point in time, no partially-updated triples when the caller formats
+// them side by side.  (Cross-component consistency is still best-effort:
+// each component snapshots under its own lock, the same contract the
+// individual accessors offered.)
+type StatsSnapshot struct {
+	DB      DBStats
+	WAL     WALStats
+	Cache   CacheStats
+	Indexes []IndexStat
+	// TotalRows is the live row count summed over all tables.
+	TotalRows int64
+	// Loading reports whether the database is inside a BeginLoad/Seal window
+	// (deferred indexes suspended).
+	Loading bool
+}
+
+// StatsSnapshot captures the unified statistics snapshot.  Indexes are
+// ordered by table name then index name, so successive scrapes expose
+// series in a stable order.
+func (db *DB) StatsSnapshot() StatsSnapshot {
+	out := StatsSnapshot{
+		DB:        db.Stats(),
+		WAL:       db.wal.Stats(),
+		Cache:     db.cache.Stats(),
+		TotalRows: db.TotalRows(),
+		Loading:   db.loading.Load(),
+	}
+	for _, ix := range db.AllIndexes() {
+		out.Indexes = append(out.Indexes, IndexStat{
+			Table:      ix.Table,
+			Name:       ix.Name,
+			Unique:     ix.Unique,
+			Ready:      ix.Ready(),
+			KeyBytes:   int64(ix.Tree().KeyBytes()),
+			ArenaBytes: int64(ix.Tree().ArenaBytes()),
+		})
+	}
+	return out
+}
+
+// Ready reports whether every index in the database is ready to answer
+// queries (no deferred index suspended by an open load phase) and no load
+// phase is open — the condition the HTTP front door's readiness probe
+// checks before admitting traffic that expects indexed latency.
+func (db *DB) Ready() bool {
+	if db.loading.Load() {
+		return false
+	}
+	for _, t := range db.tables {
+		t.mu.RLock()
+		for _, ix := range t.indexList {
+			if !ix.Ready() {
+				t.mu.RUnlock()
+				return false
+			}
+		}
+		t.mu.RUnlock()
+	}
+	return true
+}

@@ -32,6 +32,7 @@ import (
 	"skyloader/internal/metrics"
 	"skyloader/internal/queries"
 	"skyloader/internal/relstore"
+	"skyloader/internal/trace"
 )
 
 // Config controls the serving layer.
@@ -143,6 +144,12 @@ type Server struct {
 	ingestProbe  func() bool
 	ingest       *metrics.Histogram
 	ingestServed atomic.Int64
+	// ingestShed/ingestExpired classify the non-served outcomes by load
+	// phase the same way ingestServed classifies latencies, so the
+	// during-ingest window reports sheds and deadline expiries alongside its
+	// p99 instead of only the overall window doing so.
+	ingestShed    atomic.Int64
+	ingestExpired atomic.Int64
 
 	requests atomic.Int64
 	served   atomic.Int64
@@ -248,15 +255,64 @@ func (s *Server) Serve(reqs []Request) Report {
 	return s.Report(elapsed)
 }
 
-// handle is the per-request worker body: admission, deadline, cache, execute,
-// account.
+// Outcome is the terminal disposition of one request through the serving
+// path.
+type Outcome int
+
+const (
+	// OutcomeServed: executed against the engine and answered.
+	OutcomeServed Outcome = iota
+	// OutcomeCacheHit: answered from the result cache.
+	OutcomeCacheHit
+	// OutcomeShed: rejected at admission, queue full.
+	OutcomeShed
+	// OutcomeExpired: abandoned after overrunning the queue-wait deadline.
+	OutcomeExpired
+	// OutcomeError: the query failed (unknown class or execution error).
+	OutcomeError
+)
+
+// String labels the outcome for traces and HTTP error bodies.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeServed:
+		return "served"
+	case OutcomeCacheHit:
+		return "cache_hit"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeExpired:
+		return "expired"
+	}
+	return "error"
+}
+
+// handle is the per-request worker body for trace replay; it discards the
+// result.
 func (s *Server) handle(w exec.Worker, q queries.Query) {
+	s.Execute(w, q, nil)
+}
+
+// Execute runs one query through the full serving path — admission control,
+// queue-wait deadline, result cache, engine execution, accounting — and
+// returns the result and outcome.  It is the entry point shared by trace
+// replay (handle, which discards the result) and the HTTP front door (which
+// returns it to a socket client).  w must be a worker of the server's
+// scheduler; transports on the realtime engine obtain one per request via
+// exec.InlineRunner.
+//
+// tr, when non-nil, receives stage boundary marks (admission, cache probe,
+// execute); the caller owns Begin/Finish/Publish, so the transport can add
+// its own encode span after Execute returns.  A nil tr costs one pointer
+// test per boundary — the in-process replay path stays allocation- and
+// clock-call-free.
+func (s *Server) Execute(w exec.Worker, q queries.Query, tr *trace.Req) (queries.Result, Outcome, error) {
 	cls := s.classes[q.Class()]
 	if cls == nil {
-		// Unknown class: account it under a lazily shared bucket is not
+		// Unknown class: accounting it under a lazily shared bucket is not
 		// worth a lock; treat as an error.
 		s.errors.Add(1)
-		return
+		return queries.Result{}, OutcomeError, fmt.Errorf("serve: unknown query class %q", q.Class())
 	}
 	s.requests.Add(1)
 	cls.requests.Add(1)
@@ -267,32 +323,47 @@ func (s *Server) handle(w exec.Worker, q queries.Query) {
 	// listener backlog the same way.
 	if s.workers.QueueLen() >= s.cfg.QueueDepth {
 		s.shed.Add(1)
-		return
+		if s.ingestProbe != nil && s.ingestProbe() {
+			s.ingestShed.Add(1)
+		}
+		return queries.Result{}, OutcomeShed, nil
 	}
 	arrived := w.Now()
 	s.workers.Acquire(w, 1)
 	defer s.workers.Release(w, 1)
 	waited := w.Now() - arrived
 	s.wait.Observe(waited)
+	if tr != nil {
+		tr.Mark(trace.StageAdmission, w.Now())
+	}
 	if s.cfg.Deadline > 0 && waited > s.cfg.Deadline {
 		// The client gave up while we queued; executing now would be wasted
 		// work (and on the DES engine would distort the latency histogram
 		// with answers nobody received).
 		s.expired.Add(1)
-		return
+		if s.ingestProbe != nil && s.ingestProbe() {
+			s.ingestExpired.Add(1)
+		}
+		return queries.Result{}, OutcomeExpired, nil
 	}
 
 	var sig string
 	if s.cache != nil {
 		sig = q.Signature()
-		if _, ok := s.cache.Get(s.db, sig); ok {
+		if res, ok := s.cache.Get(s.db, sig); ok {
 			w.Sleep(s.cfg.Cost.CacheHit)
 			cls.hits.Add(1)
 			cls.served.Add(1)
 			s.served.Add(1)
 			s.observeLatency(cls, w.Now()-arrived)
-			return
+			if tr != nil {
+				tr.Mark(trace.StageCache, w.Now())
+			}
+			return res, OutcomeCacheHit, nil
 		}
+	}
+	if tr != nil {
+		tr.Mark(trace.StageCache, w.Now())
 	}
 
 	var res queries.Result
@@ -303,7 +374,10 @@ func (s *Server) handle(w exec.Worker, q queries.Query) {
 	})
 	if err != nil {
 		s.errors.Add(1)
-		return
+		if tr != nil {
+			tr.Mark(trace.StageExecute, w.Now())
+		}
+		return queries.Result{}, OutcomeError, err
 	}
 	w.Sleep(s.cfg.Cost.QueryCost(res.Stats))
 	if s.cache != nil {
@@ -318,6 +392,10 @@ func (s *Server) handle(w exec.Worker, q queries.Query) {
 	cls.served.Add(1)
 	s.served.Add(1)
 	s.observeLatency(cls, w.Now()-arrived)
+	if tr != nil {
+		tr.Mark(trace.StageExecute, w.Now())
+	}
+	return res, OutcomeServed, nil
 }
 
 // ClassReport is the per-query-class slice of a Report.
@@ -353,10 +431,17 @@ type Report struct {
 
 	// DuringIngest summarizes the latency of requests served while the ingest
 	// probe reported loaders active (see ObserveIngest), all classes pooled;
-	// DuringIngestServed counts them.  Both are zero when no probe was
-	// installed or no request overlapped the load window.
-	DuringIngest       metrics.HistogramSummary
-	DuringIngestServed int64
+	// DuringIngestServed counts them.  DuringIngestShed and
+	// DuringIngestExpired carry the non-served outcomes of the same window —
+	// a flat during-ingest p99 achieved by shedding every read is not flat,
+	// and reporting the counts next to the quantiles keeps the headline
+	// honest (the overall window has always reported all three; the ingest
+	// window now matches).  All are zero when no probe was installed or no
+	// request overlapped the load window.
+	DuringIngest        metrics.HistogramSummary
+	DuringIngestServed  int64
+	DuringIngestShed    int64
+	DuringIngestExpired int64
 }
 
 // Report snapshots the serving counters after a run of the scheduler.
@@ -378,6 +463,8 @@ func (s *Server) Report(elapsed time.Duration) Report {
 		Unstable:   s.unstable.Load(),
 		QueueWait:  s.wait.Summary(),
 	}
+	rep.DuringIngestShed = s.ingestShed.Load()
+	rep.DuringIngestExpired = s.ingestExpired.Load()
 	if n := s.ingestServed.Load(); n > 0 {
 		rep.DuringIngestServed = n
 		rep.DuringIngest = s.ingest.Summary()
@@ -401,6 +488,71 @@ func (s *Server) Report(elapsed time.Duration) Report {
 	return rep
 }
 
+// Counters is the exporter-facing snapshot of the admission counters; unlike
+// Report it carries no histograms (the exporter reads those live, bucket by
+// bucket, via the accessors below).
+type Counters struct {
+	Requests, Served, Shed, Expired, Errors, Unstable         int64
+	DuringIngestServed, DuringIngestShed, DuringIngestExpired int64
+}
+
+// Counters snapshots the admission counters.
+func (s *Server) Counters() Counters {
+	return Counters{
+		Requests:            s.requests.Load(),
+		Served:              s.served.Load(),
+		Shed:                s.shed.Load(),
+		Expired:             s.expired.Load(),
+		Errors:              s.errors.Load(),
+		Unstable:            s.unstable.Load(),
+		DuringIngestServed:  s.ingestServed.Load(),
+		DuringIngestShed:    s.ingestShed.Load(),
+		DuringIngestExpired: s.ingestExpired.Load(),
+	}
+}
+
+// ClassSnapshot is one query class's exporter view: counters by value, the
+// latency histogram by reference (live; reads are atomic bucket loads).
+type ClassSnapshot struct {
+	Class                       string
+	Requests, Served, CacheHits int64
+	Latency                     *metrics.Histogram
+}
+
+// Classes lists the per-class accounting in stable class order, including
+// classes with no traffic yet (the exporter must expose every series from
+// the first scrape so rate() never sees a counter appear mid-flight).
+func (s *Server) Classes() []ClassSnapshot {
+	out := make([]ClassSnapshot, 0, len(s.classes))
+	for _, cls := range []string{queries.ClassCone, queries.ClassLookup, queries.ClassFrame, queries.ClassHistogram} {
+		st := s.classes[cls]
+		out = append(out, ClassSnapshot{
+			Class:     cls,
+			Requests:  st.requests.Load(),
+			Served:    st.served.Load(),
+			CacheHits: st.hits.Load(),
+			Latency:   st.latency,
+		})
+	}
+	return out
+}
+
+// ServeConfig returns the resolved serving configuration.
+func (s *Server) ServeConfig() Config { return s.cfg }
+
+// QueueWait returns the live queue-wait histogram.
+func (s *Server) QueueWait() *metrics.Histogram { return s.wait }
+
+// DuringIngestLatency returns the live during-ingest latency histogram.
+func (s *Server) DuringIngestLatency() *metrics.Histogram { return s.ingest }
+
+// Workers returns the worker-pool resource (capacity, in-use, queue depth —
+// the exporter's saturation gauges).
+func (s *Server) Workers() exec.Resource { return s.workers }
+
+// Scheduler returns the execution scheduler the server runs on.
+func (s *Server) Scheduler() exec.Scheduler { return s.sched }
+
 // QPS returns served queries per second of elapsed time.
 func (r Report) QPS() float64 {
 	if r.Elapsed <= 0 {
@@ -421,6 +573,9 @@ func (r Report) Render(w io.Writer) error {
 	if r.DuringIngestServed > 0 {
 		fmt.Fprintf(w, "read p99 during ingest: %.3f ms (p50 %.3f ms, %d reads served while loaders active)\n",
 			float64(r.DuringIngest.P99)/1e6, float64(r.DuringIngest.P50)/1e6, r.DuringIngestServed)
+		if r.DuringIngestShed > 0 || r.DuringIngestExpired > 0 {
+			fmt.Fprintf(w, "during ingest: shed %d, expired %d\n", r.DuringIngestShed, r.DuringIngestExpired)
+		}
 	}
 
 	t := &metrics.Table{
