@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench smoke smoke-http
+.PHONY: all build vet test race bench smoke smoke-http smoke-crash
 
 all: build vet test
 
@@ -44,3 +44,12 @@ smoke:
 # CI can't reach in-process.
 smoke-http:
 	$(GO) run ./cmd/skyserve -http 127.0.0.1:0 -smoke
+
+# Crash/recover smoke: WAL-backed load killed at a seed-derived log append,
+# recovered from the directory the dead process left, resumed, and verified
+# byte-identical (row counts, per-index iteration order, stats totals) to an
+# uninterrupted run.  The fixed seed fixes the kill point, so the scenario —
+# including checkpoint-bounded replay — is fully deterministic in CI.
+smoke-crash:
+	$(GO) run ./cmd/skyload -crash -seed 7 -size 2
+	$(GO) run ./cmd/skyload -crash -seed 42 -size 2

@@ -14,6 +14,7 @@
 //	skyload -config campaign.json night01/*.cat # JSON campaign configuration
 //	skyload -size 200                          # no files: generate 200 MB in memory
 //	skyload -wallclock -loaders 4 -size 200    # real goroutines, wall-clock timing
+//	skyload -crash -seed 7 -size 2             # kill/recover durability scenario
 //
 // When -config is given the campaign file (see internal/loadconfig) supplies
 // the loader tunables, parallelism and database tuning, and the individual
@@ -70,8 +71,15 @@ func main() {
 		groupCommit  = flag.Duration("group-commit", 0, "with -wallclock: group-commit window (0 disables; e.g. 200us)")
 		groupWaiters = flag.Int("group-waiters", 0, "with -wallclock: max transactions per commit group (0 = default)")
 		lockChunk    = flag.Int("lock-chunk", 0, "with -wallclock: InsertBatch lock-chunk rows (0 = one lock hold per batch)")
+
+		crash = flag.Bool("crash", false, "run the kill/recover durability scenario: WAL-backed load killed at a random append (derived from -seed), recovered, resumed, and verified byte-identical to an uninterrupted run")
 	)
 	flag.Parse()
+
+	if *crash {
+		runCrash(*seed, *size, *batch, *verbose)
+		return
+	}
 
 	// Resolve the campaign settings: either a JSON configuration file or the
 	// individual flags plus a named tuning profile.

@@ -121,9 +121,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, path string
 }
 
 // handleHealthz is the readiness probe: 200 once every index is ready (no
-// open BeginLoad/Seal window), 503 while a deferred-policy load is in
-// flight.  Load balancers use it to keep latency-expecting traffic away
-// until indexed reads are possible.
+// open BeginLoad/Seal window) and no crash recovery is replaying, 503 while
+// a deferred-policy load or a StartRecover WAL replay is in flight.  Load
+// balancers use it to keep latency-expecting traffic away until indexed
+// reads are possible.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request, path string) {
 	began := time.Now()
 	if s.db.Ready() {

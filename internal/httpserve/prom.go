@@ -100,6 +100,32 @@ func (s *Server) WriteMetrics(out io.Writer) error {
 	p.Metric("sky_wal_max_unsynced_bytes", "High-water mark of unsynced WAL bytes.", "gauge")
 	p.SampleInt("sky_wal_max_unsynced_bytes", nil, snap.WAL.MaxUnsyncedBytes)
 
+	// --- relstore: durable WAL, checkpoints, crash recovery ---
+	p.Metric("sky_wal_durable", "1 when records are persisted to a WAL directory.", "gauge")
+	durable := int64(0)
+	if snap.WAL.Durable {
+		durable = 1
+	}
+	p.SampleInt("sky_wal_durable", nil, durable)
+	p.Metric("sky_wal_durable_bytes_total", "Bytes appended to on-disk WAL segments.", "counter")
+	p.SampleInt("sky_wal_durable_bytes_total", nil, snap.WAL.DurableBytes)
+	p.Metric("sky_wal_durable_syncs_total", "fsync batches issued against the WAL.", "counter")
+	p.SampleInt("sky_wal_durable_syncs_total", nil, snap.WAL.DurableSyncs)
+	p.Metric("sky_wal_segments_created_total", "WAL segment files created.", "counter")
+	p.SampleInt("sky_wal_segments_created_total", nil, snap.WAL.SegmentsCreated)
+	p.Metric("sky_wal_segments_deleted_total", "WAL segment files deleted by checkpoint truncation.", "counter")
+	p.SampleInt("sky_wal_segments_deleted_total", nil, snap.WAL.SegmentsDeleted)
+	p.Metric("sky_wal_checkpoints_total", "Checkpoints taken (manual and automatic).", "counter")
+	p.SampleInt("sky_wal_checkpoints_total", nil, snap.WAL.Checkpoints)
+	p.Metric("sky_wal_replay_records_total", "WAL records applied by crash recovery.", "counter")
+	p.SampleInt("sky_wal_replay_records_total", nil, snap.WAL.ReplayRecords)
+	p.Metric("sky_wal_replay_rows_total", "Rows restored from the log by crash recovery.", "counter")
+	p.SampleInt("sky_wal_replay_rows_total", nil, snap.WAL.ReplayRows)
+	p.Metric("sky_wal_replay_bytes_total", "Log bytes scanned by crash recovery.", "counter")
+	p.SampleInt("sky_wal_replay_bytes_total", nil, snap.WAL.ReplayBytes)
+	p.Metric("sky_wal_replay_torn_tail_total", "Torn trailing records discarded by crash recovery.", "counter")
+	p.SampleInt("sky_wal_replay_torn_tail_total", nil, snap.WAL.ReplayTornTail)
+
 	// --- relstore: buffer cache ---
 	p.Metric("sky_buffer_cache_capacity_pages", "Buffer cache capacity.", "gauge")
 	p.SampleInt("sky_buffer_cache_capacity_pages", nil, int64(snap.Cache.Capacity))

@@ -1,0 +1,365 @@
+package relstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoints bound replay time: DB.Checkpoint snapshots the committed table
+// state into a checkpoint file and deletes the log segments the snapshot
+// covers, so Recover replays only the records appended since.
+//
+// Ordering rules (also documented in PERFORMANCE.md):
+//
+//  1. All table locks are taken (children before parents, the same nesting
+//     order the batch-apply path uses) and the snapshot is refused while any
+//     table holds uncommitted rows — so the captured heap is exactly the
+//     committed state, and every commit marker covering it is already in the
+//     log.
+//  2. The log rotates BEFORE the snapshot is encoded: the sealed segments are
+//     flushed and fsynced, fixing the checkpoint LSN boundary; everything at
+//     or below it will be superseded by the checkpoint file.
+//  3. The checkpoint file is written to a temp name, fsynced, renamed into
+//     place and the directory fsynced — a crash leaves either the old state
+//     or a complete new checkpoint, never a partial one.
+//  4. Only after the rename is durable are dead segments deleted.  A crash
+//     between 3 and 4 leaves stale segments that Recover skips by LSN.
+//
+// Checkpoint files reuse the WAL record framing (length + CRC32 + payload)
+// after an 8-byte magic, with their own payload types.
+
+const (
+	ckptMagic = "SKYCKPT1"
+
+	ckptRecHeader = 0x10 // seq u64 | lsn u64 | maxTxn u64 | tableCount u32
+	ckptRecTable  = 0x11 // tableID u32 | nextRow u64 | liveRows u64
+	ckptRecRows   = 0x12 // tableID u32 | count u32 | count x (id u64 | rowLen u32 | row)
+	ckptRecEnd    = 0x13 // (empty)
+
+	// ckptRowsPerRecord chunks table rows so no single record outgrows the
+	// frame limit.
+	ckptRowsPerRecord = 512
+)
+
+// ErrNoWALDir reports a durability operation on a database opened without
+// WithWALDir.
+var ErrNoWALDir = errors.New("relstore: no WAL directory configured")
+
+// ErrCheckpointBusy reports a checkpoint attempt while transactions hold
+// uncommitted rows; the caller should retry after they settle.
+var ErrCheckpointBusy = errors.New("relstore: checkpoint refused: uncommitted rows in flight")
+
+// Checkpoint snapshots the committed state of every table into a checkpoint
+// file and truncates the log segments it supersedes.  It fails with
+// ErrNoWALDir when the database has no durable WAL and ErrCheckpointBusy when
+// any transaction holds uncommitted rows (retry after commits settle; the
+// automatic WithCheckpointEvery trigger simply skips such attempts).
+func (db *DB) Checkpoint() error {
+	dev := db.wal.dev
+	if dev == nil {
+		return ErrNoWALDir
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+
+	// Lock children before parents — the same nesting order the batch-apply
+	// path uses (child write lock, then parent read locks) — so a concurrent
+	// batch and a checkpoint cannot deadlock.
+	tables := db.tablesLockOrder()
+	for _, t := range tables {
+		t.mu.Lock()
+	}
+	unlock := func() {
+		for i := len(tables) - 1; i >= 0; i-- {
+			tables[i].mu.Unlock()
+		}
+	}
+	for _, t := range tables {
+		if t.pendingRows.Load() > 0 {
+			unlock()
+			return ErrCheckpointBusy
+		}
+	}
+
+	// With no rows pending, every row in the heaps is committed and its commit
+	// marker is already appended (markers precede epoch settling), so rotating
+	// here puts the whole snapshot's history at or below the boundary.
+	boundary := dev.rotateForCheckpoint()
+	seq := db.ckptSeq + 1
+	buf := encodeCheckpoint(seq, boundary, db.nextTxn.Load(), db.tablesByID)
+	unlock()
+
+	if err := dev.callFault(FPCheckpointSave); err != nil {
+		return fmt.Errorf("relstore: checkpoint save: %w", err)
+	}
+	if err := writeCheckpointFile(db.cfg.WALDir, seq, buf); err != nil {
+		return err
+	}
+	db.ckptSeq = seq
+	dev.mu.Lock()
+	dev.checkpoints++
+	dev.mu.Unlock()
+
+	if err := dev.callFault(FPCheckpointTruncate); err != nil {
+		// The checkpoint itself is durable; only segment cleanup failed, and
+		// the next checkpoint (or Recover) tolerates the stale segments.
+		return fmt.Errorf("relstore: checkpoint truncate: %w", err)
+	}
+	if _, err := dev.deleteSegmentsBelow(boundary); err != nil {
+		return fmt.Errorf("relstore: checkpoint truncate: %w", err)
+	}
+	// Older checkpoint files are dead too: the new one supersedes them.
+	seqs, err := listCheckpoints(db.cfg.WALDir)
+	if err == nil {
+		for _, s := range seqs {
+			if s < seq {
+				_ = os.Remove(filepath.Join(db.cfg.WALDir, ckptName(s)))
+			}
+		}
+	}
+	return nil
+}
+
+// maybeAutoCheckpoint runs a best-effort checkpoint when the
+// WithCheckpointEvery byte threshold has been crossed.  Called after commits;
+// a busy refusal (uncommitted rows elsewhere) just waits for a later commit.
+func (db *DB) maybeAutoCheckpoint() {
+	dev := db.wal.dev
+	if dev == nil || !dev.shouldCheckpoint(db.cfg.CheckpointEveryBytes) {
+		return
+	}
+	if err := db.Checkpoint(); err != nil && !errors.Is(err, ErrCheckpointBusy) {
+		panic(fmt.Sprintf("relstore: auto checkpoint: %v", err))
+	}
+}
+
+// tablesLockOrder returns every table in child-before-parent order (reverse
+// topological), matching the lock nesting of the batch-apply path.
+func (db *DB) tablesLockOrder() []*Table {
+	names, err := db.schema.TopologicalOrder()
+	if err != nil {
+		// The schema was validated acyclic at construction; fall back to
+		// declaration order if that ever changes.
+		names = db.schema.TableNames()
+	}
+	out := make([]*Table, 0, len(names))
+	for i := len(names) - 1; i >= 0; i-- {
+		out = append(out, db.tables[names[i]])
+	}
+	return out
+}
+
+// encodeCheckpoint renders the snapshot into framed checkpoint records.  The
+// caller holds every table's write lock.
+func encodeCheckpoint(seq, boundary, maxTxn int64, tables []*Table) []byte {
+	var buf, payload []byte
+	buf = append(buf, ckptMagic...)
+
+	payload = append(payload[:0], ckptRecHeader)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(seq))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(boundary))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(maxTxn))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(tables)))
+	buf = appendWALFrame(buf, payload)
+
+	for tid, t := range tables {
+		payload = append(payload[:0], ckptRecTable)
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(tid))
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(t.nextRow))
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(t.rows.live))
+		buf = appendWALFrame(buf, payload)
+
+		count := 0
+		var rowsPayload []byte
+		flush := func() {
+			if count == 0 {
+				return
+			}
+			payload = append(payload[:0], ckptRecRows)
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(tid))
+			payload = binary.LittleEndian.AppendUint32(payload, uint32(count))
+			payload = append(payload, rowsPayload...)
+			buf = appendWALFrame(buf, payload)
+			count = 0
+			rowsPayload = rowsPayload[:0]
+		}
+		for id, loc := range t.rows.locs {
+			if loc.pageIdx < 0 {
+				continue
+			}
+			row := t.heap.get(loc)
+			if row == nil {
+				continue
+			}
+			rowsPayload = binary.LittleEndian.AppendUint64(rowsPayload, uint64(id))
+			lenAt := len(rowsPayload)
+			rowsPayload = append(rowsPayload, 0, 0, 0, 0)
+			rowsPayload = appendWALRow(rowsPayload, row)
+			binary.LittleEndian.PutUint32(rowsPayload[lenAt:lenAt+4], uint32(len(rowsPayload)-lenAt-4))
+			count++
+			if count >= ckptRowsPerRecord {
+				flush()
+			}
+		}
+		flush()
+	}
+	buf = appendWALFrame(buf, []byte{ckptRecEnd})
+	return buf
+}
+
+// writeCheckpointFile persists the encoded snapshot atomically: temp file,
+// fsync, rename, directory fsync.
+func writeCheckpointFile(dir string, seq int64, buf []byte) error {
+	tmp := filepath.Join(dir, ckptName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("relstore: checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("relstore: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("relstore: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("relstore: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ckptName(seq))); err != nil {
+		return fmt.Errorf("relstore: checkpoint: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// checkpointState is a decoded checkpoint file.
+type checkpointState struct {
+	seq     int64
+	lsn     int64
+	maxTxn  int64
+	nextRow []int64   // per tableID
+	rows    []int64   // expected live rows per tableID
+	ids     [][]int64 // row ids per tableID
+	data    [][]Row   // rows per tableID
+}
+
+// readCheckpointFile parses and validates a checkpoint file.  Any framing or
+// semantic error is a hard failure: rename-into-place means a present file
+// must be complete.
+func readCheckpointFile(path string, widthOf walRowWidth) (*checkpointState, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < len(ckptMagic) || string(buf[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("%w: checkpoint magic", ErrWALCorrupt)
+	}
+	buf = buf[len(ckptMagic):]
+
+	st := &checkpointState{}
+	sawHeader, sawEnd := false, false
+	for len(buf) > 0 && !sawEnd {
+		payload, rest, ok := nextWALFrame(buf)
+		if !ok {
+			return nil, fmt.Errorf("%w: torn checkpoint record", ErrWALCorrupt)
+		}
+		buf = rest
+		if len(payload) == 0 {
+			return nil, fmt.Errorf("%w: empty checkpoint record", ErrWALCorrupt)
+		}
+		typ, body := payload[0], payload[1:]
+		switch typ {
+		case ckptRecHeader:
+			if sawHeader || len(body) != 28 {
+				return nil, fmt.Errorf("%w: checkpoint header", ErrWALCorrupt)
+			}
+			sawHeader = true
+			st.seq = int64(binary.LittleEndian.Uint64(body[0:8]))
+			st.lsn = int64(binary.LittleEndian.Uint64(body[8:16]))
+			st.maxTxn = int64(binary.LittleEndian.Uint64(body[16:24]))
+			n := binary.LittleEndian.Uint32(body[24:28])
+			if n > 1<<16 {
+				return nil, fmt.Errorf("%w: checkpoint table count %d", ErrWALCorrupt, n)
+			}
+			st.nextRow = make([]int64, n)
+			st.rows = make([]int64, n)
+			st.ids = make([][]int64, n)
+			st.data = make([][]Row, n)
+		case ckptRecTable:
+			if !sawHeader || len(body) != 20 {
+				return nil, fmt.Errorf("%w: checkpoint table record", ErrWALCorrupt)
+			}
+			tid := binary.LittleEndian.Uint32(body[0:4])
+			if int(tid) >= len(st.nextRow) {
+				return nil, fmt.Errorf("%w: checkpoint table id %d", ErrWALCorrupt, tid)
+			}
+			st.nextRow[tid] = int64(binary.LittleEndian.Uint64(body[4:12]))
+			st.rows[tid] = int64(binary.LittleEndian.Uint64(body[12:20]))
+		case ckptRecRows:
+			if !sawHeader || len(body) < 8 {
+				return nil, fmt.Errorf("%w: checkpoint rows record", ErrWALCorrupt)
+			}
+			tid := binary.LittleEndian.Uint32(body[0:4])
+			if int(tid) >= len(st.ids) {
+				return nil, fmt.Errorf("%w: checkpoint rows table id %d", ErrWALCorrupt, tid)
+			}
+			count := binary.LittleEndian.Uint32(body[4:8])
+			body = body[8:]
+			want := -1
+			if widthOf != nil {
+				w, ok := widthOf(tid)
+				if !ok {
+					return nil, fmt.Errorf("%w: checkpoint rows unknown table %d", ErrWALCorrupt, tid)
+				}
+				want = w
+			}
+			for i := uint32(0); i < count; i++ {
+				if len(body) < 12 {
+					return nil, fmt.Errorf("%w: truncated checkpoint row", ErrWALCorrupt)
+				}
+				id := int64(binary.LittleEndian.Uint64(body[0:8]))
+				rl := binary.LittleEndian.Uint32(body[8:12])
+				body = body[12:]
+				if uint32(len(body)) < rl || id < 0 {
+					return nil, fmt.Errorf("%w: truncated checkpoint row payload", ErrWALCorrupt)
+				}
+				var row Row
+				if want >= 0 {
+					row, err = decodeWALRow(body[:rl], want)
+				} else {
+					row, err = decodeWALRowAnyWidth(body[:rl])
+				}
+				if err != nil {
+					return nil, err
+				}
+				st.ids[tid] = append(st.ids[tid], id)
+				st.data[tid] = append(st.data[tid], row)
+				body = body[rl:]
+			}
+			if len(body) != 0 {
+				return nil, fmt.Errorf("%w: trailing checkpoint row bytes", ErrWALCorrupt)
+			}
+		case ckptRecEnd:
+			sawEnd = true
+		default:
+			return nil, fmt.Errorf("%w: checkpoint record type 0x%02x", ErrWALCorrupt, typ)
+		}
+	}
+	if !sawHeader || !sawEnd {
+		return nil, fmt.Errorf("%w: incomplete checkpoint file", ErrWALCorrupt)
+	}
+	for tid := range st.ids {
+		if int64(len(st.ids[tid])) != st.rows[tid] {
+			return nil, fmt.Errorf("%w: checkpoint table %d holds %d rows, header says %d",
+				ErrWALCorrupt, tid, len(st.ids[tid]), st.rows[tid])
+		}
+	}
+	return st, nil
+}

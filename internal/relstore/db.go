@@ -46,6 +46,16 @@ type Config struct {
 	// 0 (the default) keeps syncs free — the only setting the virtual-time
 	// figures use.  See WithWALSyncDelay.
 	WALSyncDelay time.Duration
+	// WALDir, when non-empty, makes the WAL durable: records are persisted to
+	// segmented log files under this directory and syncs are real fsyncs.
+	// Empty (the default) keeps the WAL counters-only.  See WithWALDir.
+	WALDir string
+	// CheckpointEveryBytes triggers an automatic checkpoint after roughly this
+	// many durable log bytes; 0 disables.  See WithCheckpointEvery.
+	CheckpointEveryBytes int64
+	// WALSegmentBytes is the durable log segment size; 0 uses 4 MiB.  See
+	// WithWALSegmentBytes.
+	WALSegmentBytes int64
 }
 
 // DefaultConfig mirrors the production repository's loading configuration.
@@ -85,6 +95,24 @@ type DB struct {
 	// deferred-policy indexes are suspended.  Tables read it when an index is
 	// created mid-load (see Table.createIndex).
 	loading atomic.Bool
+
+	// recovering marks a database still replaying its durable log (between
+	// StartRecover and the replay's completion).  Ready() is false and Begin
+	// refuses transactions while it is set.
+	recovering atomic.Bool
+
+	// tablesByID indexes tables by their stable numeric id (schema declaration
+	// order) — the table id the durable WAL records carry.
+	tablesByID []*Table
+
+	// ckptMu serializes checkpoints; ckptSeq (guarded by it) is the sequence
+	// number of the latest completed checkpoint.
+	ckptMu  sync.Mutex
+	ckptSeq int64
+
+	// faultHook is the test-only fault-injection hook (WithFaultHook), shared
+	// with the durable device and invoked on the replay path.
+	faultHook FaultHook
 
 	nextTxn  atomic.Int64
 	counters dbCounters
@@ -145,14 +173,37 @@ func open(schema *Schema, oc openConfig) (*DB, error) {
 	}
 	db.counters.violations = make(map[ConstraintKind]int64)
 	db.scratchPool.New = func() any { return new(scratch) }
-	for _, ts := range schema.Tables() {
+	db.faultHook = oc.faultHook
+	for i, ts := range schema.Tables() {
 		t, err := newTable(ts, cfg.BTreeDegree, &db.loading)
 		if err != nil {
 			return nil, err
 		}
+		// Table ids follow schema declaration order, which is stable for a
+		// given schema — the identity durable WAL records persist.
+		t.tid = uint32(i)
 		db.tables[ts.Name] = t
+		db.tablesByID = append(db.tablesByID, t)
+	}
+	if cfg.WALDir != "" && !oc.recovering {
+		dev, err := openWALDevice(cfg.WALDir, cfg.WALSegmentBytes, cfg.WALSyncBytes, oc.faultHook)
+		if err != nil {
+			return nil, err
+		}
+		db.wal.dev = dev
 	}
 	return db, nil
+}
+
+// Close flushes and closes the durable log device, if any.  It does not wait
+// for open transactions; in-memory state remains usable but no further
+// durable appends may happen.  A nil error is returned for a counters-only
+// database.
+func (db *DB) Close() error {
+	if db.wal.dev == nil {
+		return nil
+	}
+	return db.wal.dev.close()
 }
 
 // NewDB creates a database for the given schema.
@@ -360,6 +411,9 @@ func (db *DB) insert(txn *Txn, tableName string, columns []string, values []Valu
 		db.counters.lockConflicts.Add(1)
 	}
 	rep.LogBytes += db.wal.AppendInsert(rep.RowBytes + rep.IndexEntryBytes)
+	if db.wal.dev != nil {
+		db.wal.dev.logInsert(t.tid, txn.id, id, []Row{row})
+	}
 	miss, _ := db.cache.Touch(tableName, loc.pageIdx, true)
 	if miss {
 		rep.CacheMisses++

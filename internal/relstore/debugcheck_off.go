@@ -1,0 +1,6 @@
+//go:build !skydebug
+
+package relstore
+
+// debugChecks is false in normal builds; see debugcheck_on.go.
+const debugChecks = false

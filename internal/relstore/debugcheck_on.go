@@ -1,0 +1,8 @@
+//go:build skydebug
+
+package relstore
+
+// debugChecks gates invariant assertions that are too hot (or too loud) for
+// production builds; `go test -tags skydebug ./internal/relstore/` turns them
+// into panics.
+const debugChecks = true

@@ -46,6 +46,13 @@ func (db *DB) StatsSnapshot() StatsSnapshot {
 		TotalRows: db.TotalRows(),
 		Loading:   db.loading.Load(),
 	}
+	// Sync accounting invariant: every sync is a per-commit sync, a threshold
+	// auto-sync or a group sync, so the total can never undercut the latter
+	// two.  Checked only under the skydebug build tag — counter drift here
+	// would silently skew every §4.5.2 figure, so tests fail loudly instead.
+	if debugChecks && out.WAL.Syncs < out.WAL.AutoSyncs+out.WAL.GroupCommits {
+		panic("relstore: WALStats invariant violated: Syncs < AutoSyncs + GroupCommits")
+	}
 	for _, ix := range db.AllIndexes() {
 		out.Indexes = append(out.Indexes, IndexStat{
 			Table:      ix.Table,
@@ -60,10 +67,14 @@ func (db *DB) StatsSnapshot() StatsSnapshot {
 }
 
 // Ready reports whether every index in the database is ready to answer
-// queries (no deferred index suspended by an open load phase) and no load
-// phase is open — the condition the HTTP front door's readiness probe
-// checks before admitting traffic that expects indexed latency.
+// queries (no deferred index suspended by an open load phase), no load
+// phase is open, and recovery replay (StartRecover) has finished — the
+// condition the HTTP front door's readiness probe checks before admitting
+// traffic that expects indexed latency.
 func (db *DB) Ready() bool {
+	if db.recovering.Load() {
+		return false
+	}
 	if db.loading.Load() {
 		return false
 	}

@@ -96,6 +96,10 @@ func (d *rowDir) remove(id int64) {
 type Table struct {
 	schema *TableSchema
 
+	// tid is the table's stable numeric id (schema declaration order),
+	// assigned by DB.open; durable WAL records identify tables by it.
+	tid uint32
+
 	mu sync.RWMutex
 
 	heap    *heapStore

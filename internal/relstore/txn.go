@@ -43,6 +43,9 @@ type undoRecord struct {
 // two transactions can never share an id even across admission failures or
 // concurrent Begin calls.
 func (db *DB) Begin() (*Txn, error) {
+	if db.recovering.Load() {
+		return nil, ErrRecovering
+	}
 	id := db.nextTxn.Add(1)
 	if err := db.locks.Admit(id); err != nil {
 		return nil, err
@@ -56,6 +59,9 @@ func (db *DB) Begin() (*Txn, error) {
 // not be used from discrete-event simulation processes (blocking a DES
 // process goroutine outside the kernel would stall the virtual clock).
 func (db *DB) BeginBlocking() (*Txn, error) {
+	if db.recovering.Load() {
+		return nil, ErrRecovering
+	}
 	id := db.nextTxn.Add(1)
 	if err := db.locks.AdmitWait(id); err != nil {
 		return nil, err
@@ -147,15 +153,33 @@ func (t *Txn) Commit() (CommitReport, error) {
 		return CommitReport{}, ErrTxnNotActive
 	}
 	group := t.db.group
+	dev := t.db.wal.dev
 	var forced int64
+	// The durable commit marker is appended BEFORE finishCommit settles epochs
+	// and pending counts: a checkpoint that observes no pending rows can then
+	// rely on every settled transaction's marker being below its LSN boundary.
 	if group != nil {
+		if dev != nil {
+			dev.logMarker(walRecCommit, t.id)
+		}
 		t.db.wal.AppendCommitNoSync()
 	} else {
+		if dev != nil {
+			dev.logMarker(walRecCommit, t.id)
+		}
 		forced = t.db.wal.AppendCommit()
+		if dev != nil {
+			// Commit acknowledgement means the marker is on disk.
+			dev.sync()
+		}
 	}
 	rep := t.finishCommit(forced)
 	if group != nil {
+		// The group leader's SyncGroup fsyncs the device for the whole group.
 		rep.LogBytesForced, rep.GroupSize, rep.GroupLeader = group.commit()
+	}
+	if dev != nil {
+		t.db.maybeAutoCheckpoint()
 	}
 	return rep, nil
 }
@@ -172,8 +196,15 @@ func (t *Txn) CommitUnsynced() (CommitReport, error) {
 	if !t.active {
 		return CommitReport{}, ErrTxnNotActive
 	}
+	if dev := t.db.wal.dev; dev != nil {
+		dev.logMarker(walRecCommit, t.id)
+	}
 	t.db.wal.AppendCommitNoSync()
-	return t.finishCommit(0), nil
+	rep := t.finishCommit(0)
+	if t.db.wal.dev != nil {
+		t.db.maybeAutoCheckpoint()
+	}
+	return rep, nil
 }
 
 // finishCommit performs the engine-side half of a commit — dirty-page flush,
@@ -238,6 +269,13 @@ func (t *Txn) settleEpochs() {
 func (t *Txn) Rollback() error {
 	if !t.active {
 		return ErrTxnNotActive
+	}
+	// The rollback marker needs no sync: a transaction with neither marker on
+	// disk is discarded by replay anyway, and one with only its inserts
+	// durable is discarded the same way.  The marker exists so replay can
+	// account rolled-back transactions explicitly.
+	if dev := t.db.wal.dev; dev != nil {
+		dev.logMarker(walRecRollback, t.id)
 	}
 	// Undo in reverse order so children are removed before parents and the
 	// foreign-key invariant never observes an orphan (within a range record,

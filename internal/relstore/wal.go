@@ -29,6 +29,12 @@ type WAL struct {
 	syncDelay time.Duration
 	syncMu    sync.Mutex
 
+	// dev is the durable half of the log (WithWALDir): the real byte stream
+	// whose syncs are fsyncs.  nil (the default) keeps the WAL counters-only;
+	// every durable call site is gated on the nil check, so the cost model and
+	// its figures are untouched when durability is off.
+	dev *walDevice
+
 	mu             sync.Mutex
 	records        int64
 	groupRecords   int64
@@ -147,6 +153,11 @@ func (w *WAL) SyncGroup(commits int) int64 {
 		w.maxGroupSize = int64(commits)
 	}
 	w.mu.Unlock()
+	if w.dev != nil {
+		// The leader's single durable fsync covers every marker the group
+		// appended via AppendCommitNoSync — the durable form of group commit.
+		w.dev.sync()
+	}
 	w.syncDevice()
 	return forced
 }
@@ -187,10 +198,37 @@ type WALStats struct {
 	GroupedCommits   int64
 	MaxGroupSize     int64
 	MaxUnsyncedBytes int64
+
+	// Durable-log counters, all zero unless the database was opened with
+	// WithWALDir (Durable reports which).  DurableBytes and DurableSyncs count
+	// framed bytes appended to and fsyncs issued against the segment files;
+	// the Segments/Checkpoints counters track the checkpoint lifecycle; the
+	// Replay counters describe the recovery that produced this database (set
+	// once by Recover, including ReplayTornTail — the torn/corrupt trailing
+	// records tolerated and discarded).
+	Durable         bool
+	DurableBytes    int64
+	DurableSyncs    int64
+	SegmentsCreated int64
+	SegmentsDeleted int64
+	Checkpoints     int64
+	ReplayRecords   int64
+	ReplayRows      int64
+	ReplayBytes     int64
+	ReplayTornTail  int64
 }
 
 // Stats returns a snapshot of the log counters.
 func (w *WAL) Stats() WALStats {
+	ws := w.statsCounters()
+	if w.dev != nil {
+		w.dev.durableStats(&ws)
+	}
+	return ws
+}
+
+// statsCounters snapshots the counter half of the log under w.mu.
+func (w *WAL) statsCounters() WALStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return WALStats{
