@@ -368,11 +368,11 @@ func (t *Table) applyBatchChunk(db *DB, txn *Txn, built []Row, base int, blob st
 	// lock hold (the full batch in monolithic mode, one chunk in chunked
 	// mode; ids are allocated under the held lock, so the run is contiguous).
 	if len(ids) > 0 {
-		if db.wal.dev != nil {
-			// One durable record per lock hold, appended while the id run is
-			// still protected, so records for the same table land in the log
-			// in id order.
-			db.wal.dev.logInsert(t.tid, txn.id, ids[0], built[:len(ids)])
+		if dev := db.wal.dev.Load(); dev != nil {
+			// Durable record(s) appended while the id run is still protected,
+			// so records for the same table land in the log in id order; the
+			// device splits a run whose encoding would exceed the record limit.
+			dev.logInsert(t.tid, txn.id, ids[0], built[:len(ids)])
 		}
 		txn.recordInsertRange(t.schema.Name, ids[0], int64(len(ids)))
 		rep.UndoRecords++

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // Checkpoints bound replay time: DB.Checkpoint snapshots the committed table
@@ -58,12 +59,15 @@ var ErrCheckpointBusy = errors.New("relstore: checkpoint refused: uncommitted ro
 // any transaction holds uncommitted rows (retry after commits settle; the
 // automatic WithCheckpointEvery trigger simply skips such attempts).
 func (db *DB) Checkpoint() error {
-	dev := db.wal.dev
+	dev := db.wal.dev.Load()
 	if dev == nil {
 		return ErrNoWALDir
 	}
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
+	// A crash between creating and renaming a previous checkpoint's temp file
+	// leaves an orphan recovery never reads; reclaim it here.
+	removeStaleCkptTemps(db.cfg.WALDir)
 
 	// Lock children before parents — the same nesting order the batch-apply
 	// path uses (child write lock, then parent read locks) — so a concurrent
@@ -87,7 +91,7 @@ func (db *DB) Checkpoint() error {
 	// With no rows pending, every row in the heaps is committed and its commit
 	// marker is already appended (markers precede epoch settling), so rotating
 	// here puts the whole snapshot's history at or below the boundary.
-	boundary := dev.rotateForCheckpoint()
+	boundary, covered := dev.rotateForCheckpoint()
 	seq := db.ckptSeq + 1
 	buf := encodeCheckpoint(seq, boundary, db.nextTxn.Load(), db.tablesByID)
 	unlock()
@@ -99,9 +103,10 @@ func (db *DB) Checkpoint() error {
 		return err
 	}
 	db.ckptSeq = seq
-	dev.mu.Lock()
-	dev.checkpoints++
-	dev.mu.Unlock()
+	// Only now — the rename is durable — do the sealed bytes stop counting
+	// toward the next auto-checkpoint; a failed write above leaves the
+	// threshold armed so the next trigger retries promptly.
+	dev.noteCheckpointDurable(covered)
 
 	if err := dev.callFault(FPCheckpointTruncate); err != nil {
 		// The checkpoint itself is durable; only segment cleanup failed, and
@@ -127,7 +132,7 @@ func (db *DB) Checkpoint() error {
 // WithCheckpointEvery byte threshold has been crossed.  Called after commits;
 // a busy refusal (uncommitted rows elsewhere) just waits for a later commit.
 func (db *DB) maybeAutoCheckpoint() {
-	dev := db.wal.dev
+	dev := db.wal.dev.Load()
 	if dev == nil || !dev.shouldCheckpoint(db.cfg.CheckpointEveryBytes) {
 		return
 	}
@@ -210,6 +215,23 @@ func encodeCheckpoint(seq, boundary, maxTxn int64, tables []*Table) []byte {
 	return buf
 }
 
+// removeStaleCkptTemps deletes checkpoint temp files left behind by a crash
+// between create and rename.  Recovery never reads them (a checkpoint exists
+// only once renamed into place), so without this sweep they accumulate
+// forever.  Best-effort: a failure here only delays reclamation.
+func removeStaleCkptTemps(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, ckptPrefix) && strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
 // writeCheckpointFile persists the encoded snapshot atomically: temp file,
 // fsync, rename, directory fsync.
 func writeCheckpointFile(dir string, seq int64, buf []byte) error {
@@ -232,9 +254,8 @@ func writeCheckpointFile(dir string, seq int64, buf []byte) error {
 	if err := os.Rename(tmp, filepath.Join(dir, ckptName(seq))); err != nil {
 		return fmt.Errorf("relstore: checkpoint: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
+	if err := syncWALDir(dir); err != nil {
+		return fmt.Errorf("relstore: checkpoint: %w", err)
 	}
 	return nil
 }

@@ -190,7 +190,7 @@ func open(schema *Schema, oc openConfig) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		db.wal.dev = dev
+		db.wal.dev.Store(dev)
 	}
 	return db, nil
 }
@@ -200,10 +200,11 @@ func open(schema *Schema, oc openConfig) (*DB, error) {
 // durable appends may happen.  A nil error is returned for a counters-only
 // database.
 func (db *DB) Close() error {
-	if db.wal.dev == nil {
+	dev := db.wal.dev.Load()
+	if dev == nil {
 		return nil
 	}
-	return db.wal.dev.close()
+	return dev.close()
 }
 
 // NewDB creates a database for the given schema.
@@ -411,8 +412,8 @@ func (db *DB) insert(txn *Txn, tableName string, columns []string, values []Valu
 		db.counters.lockConflicts.Add(1)
 	}
 	rep.LogBytes += db.wal.AppendInsert(rep.RowBytes + rep.IndexEntryBytes)
-	if db.wal.dev != nil {
-		db.wal.dev.logInsert(t.tid, txn.id, id, []Row{row})
+	if dev := db.wal.dev.Load(); dev != nil {
+		dev.logInsert(t.tid, txn.id, id, []Row{row})
 	}
 	miss, _ := db.cache.Touch(tableName, loc.pageIdx, true)
 	if miss {

@@ -134,7 +134,9 @@ func (db *DB) recoverReplay(dir string) (RecoveryReport, error) {
 		return len(db.tablesByID[tid].schema.Columns), true
 	}
 
-	// Phase 0: newest checkpoint snapshot, if any.
+	// Phase 0: newest checkpoint snapshot, if any.  A temp file orphaned by a
+	// crash mid-checkpoint is dead weight — reclaim it before reading.
+	removeStaleCkptTemps(dir)
 	ckptLSN := int64(-1)
 	var maxTxn int64
 	seqs, err := listCheckpoints(dir)
@@ -346,10 +348,7 @@ func (db *DB) recoverReplay(dir string) (RecoveryReport, error) {
 				_ = f.Close()
 			}
 		}
-		if d, err := os.Open(dir); err == nil {
-			_ = d.Sync()
-			_ = d.Close()
-		}
+		_ = syncWALDir(dir)
 	}
 
 	nextLSN := ckptLSN + 1
@@ -374,7 +373,10 @@ func (db *DB) recoverReplay(dir string) (RecoveryReport, error) {
 	// Replayed-but-not-checkpointed history counts toward the next automatic
 	// checkpoint threshold.
 	dev.bytesSinceCkpt = rep.ReplayedBytes
-	db.wal.dev = dev
+	// Atomic publish: the DB is already visible to health probes and /metrics
+	// while this background replay runs (StartRecover), so Stats readers may
+	// load dev concurrently with this store.
+	db.wal.dev.Store(dev)
 	return rep, nil
 }
 

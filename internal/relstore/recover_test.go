@@ -147,7 +147,7 @@ func TestRecoverDiscardsUncommittedTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	insertFrame(t, txn, 99)
-	db.wal.dev.sync() // rows durable, commit not
+	db.wal.dev.Load().sync() // rows durable, commit not
 	// Crash here: no Commit, no Close.
 
 	got, rep, err := Recover(testSchema(t), dir)
@@ -228,9 +228,10 @@ func TestRecoverCorruptMidLogFails(t *testing.T) {
 	db, dir := durableDB(t)
 	loadFramesObjects(t, db, 0, 2, 50)
 	// Force a rotation so at least two segments exist.
-	db.wal.dev.mu.Lock()
-	db.wal.dev.rotateLocked()
-	db.wal.dev.mu.Unlock()
+	dev := db.wal.dev.Load()
+	dev.mu.Lock()
+	dev.rotateLocked()
+	dev.mu.Unlock()
 	loadFramesObjects(t, db, 10, 1, 0)
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
@@ -626,4 +627,51 @@ func TestCrashRecoverStress(t *testing.T) {
 			t.Fatalf("round %d: orphans=%d err=%v", round, orphans, err)
 		}
 	}
+}
+
+// TestRecoverLargeBatchSplitsRecords proves the append path enforces the
+// record payload limit: with the limit shrunk to a few hundred bytes, one
+// InsertBatch must split into many insert records — each under the limit the
+// frame reader enforces — and recovery must still reproduce the batch exactly.
+// Before chunking, an oversized batch wrote one unreadable frame and the log
+// became unrecoverable.
+func TestRecoverLargeBatchSplitsRecords(t *testing.T) {
+	old := walInsertRecordLimit
+	walInsertRecordLimit = 256
+	defer func() { walInsertRecordLimit = old }()
+
+	db, dir := durableDB(t)
+	txn, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertFrame(t, txn, 1)
+	rows := make([][]Value, 200)
+	for i := range rows {
+		rows[i] = []Value{Int(int64(i + 1)), Int(1), Float(float64(10 + i%20))}
+	}
+	if rep, err := txn.InsertBatch("objects", []string{"object_id", "frame_id", "mag"}, rows); err != nil {
+		t.Fatalf("InsertBatch: %v %+v", err, rep)
+	}
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rep, err := Recover(testSchema(t), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One unchunked log would hold at most 3 records (frame insert, batch
+	// insert, commit); the split batch must have produced far more, with the
+	// full row set intact.
+	if rep.ReplayedRecords <= 3 {
+		t.Fatalf("ReplayedRecords = %d, want > 3 (batch must split under the record limit)", rep.ReplayedRecords)
+	}
+	if rep.ReplayedRows != 1+200 {
+		t.Fatalf("ReplayedRows = %d, want %d", rep.ReplayedRows, 1+200)
+	}
+	assertSameState(t, db, got)
 }

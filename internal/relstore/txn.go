@@ -153,7 +153,7 @@ func (t *Txn) Commit() (CommitReport, error) {
 		return CommitReport{}, ErrTxnNotActive
 	}
 	group := t.db.group
-	dev := t.db.wal.dev
+	dev := t.db.wal.dev.Load()
 	var forced int64
 	// The durable commit marker is appended BEFORE finishCommit settles epochs
 	// and pending counts: a checkpoint that observes no pending rows can then
@@ -196,12 +196,12 @@ func (t *Txn) CommitUnsynced() (CommitReport, error) {
 	if !t.active {
 		return CommitReport{}, ErrTxnNotActive
 	}
-	if dev := t.db.wal.dev; dev != nil {
+	if dev := t.db.wal.dev.Load(); dev != nil {
 		dev.logMarker(walRecCommit, t.id)
 	}
 	t.db.wal.AppendCommitNoSync()
 	rep := t.finishCommit(0)
-	if t.db.wal.dev != nil {
+	if t.db.wal.dev.Load() != nil {
 		t.db.maybeAutoCheckpoint()
 	}
 	return rep, nil
@@ -274,7 +274,7 @@ func (t *Txn) Rollback() error {
 	// disk is discarded by replay anyway, and one with only its inserts
 	// durable is discarded the same way.  The marker exists so replay can
 	// account rolled-back transactions explicitly.
-	if dev := t.db.wal.dev; dev != nil {
+	if dev := t.db.wal.dev.Load(); dev != nil {
 		dev.logMarker(walRecRollback, t.id)
 	}
 	// Undo in reverse order so children are removed before parents and the

@@ -2,6 +2,7 @@ package relstore
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,8 +33,10 @@ type WAL struct {
 	// dev is the durable half of the log (WithWALDir): the real byte stream
 	// whose syncs are fsyncs.  nil (the default) keeps the WAL counters-only;
 	// every durable call site is gated on the nil check, so the cost model and
-	// its figures are untouched when durability is off.
-	dev *walDevice
+	// its figures are untouched when durability is off.  Atomic because
+	// StartRecover publishes the database (health probes, /metrics) before its
+	// background replay installs the resumed device.
+	dev atomic.Pointer[walDevice]
 
 	mu             sync.Mutex
 	records        int64
@@ -153,10 +156,10 @@ func (w *WAL) SyncGroup(commits int) int64 {
 		w.maxGroupSize = int64(commits)
 	}
 	w.mu.Unlock()
-	if w.dev != nil {
+	if dev := w.dev.Load(); dev != nil {
 		// The leader's single durable fsync covers every marker the group
 		// appended via AppendCommitNoSync — the durable form of group commit.
-		w.dev.sync()
+		dev.sync()
 	}
 	w.syncDevice()
 	return forced
@@ -221,8 +224,8 @@ type WALStats struct {
 // Stats returns a snapshot of the log counters.
 func (w *WAL) Stats() WALStats {
 	ws := w.statsCounters()
-	if w.dev != nil {
-		w.dev.durableStats(&ws)
+	if dev := w.dev.Load(); dev != nil {
+		dev.durableStats(&ws)
 	}
 	return ws
 }

@@ -176,11 +176,17 @@ func startWALDevice(dir string, segmentBytes, syncThreshold int64, hook FaultHoo
 }
 
 // openSegmentLocked opens a fresh segment named by the next LSN; d.mu must be
-// held (or the device not yet shared).
+// held (or the device not yet shared).  The directory is fsynced before the
+// segment is used: without it a power loss could drop the directory entry of
+// a fully-fsynced segment, silently losing acknowledged commits.
 func (d *walDevice) openSegmentLocked() error {
 	path := filepath.Join(d.dir, walSegName(d.nextLSN))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
+		return fmt.Errorf("relstore: wal segment: %w", err)
+	}
+	if err := syncWALDir(d.dir); err != nil {
+		f.Close()
 		return fmt.Errorf("relstore: wal segment: %w", err)
 	}
 	d.f = f
@@ -188,6 +194,20 @@ func (d *walDevice) openSegmentLocked() error {
 	d.written = 0
 	d.segmentsCreated++
 	return nil
+}
+
+// syncWALDir fsyncs a log directory so newly created or renamed entries are
+// durable.
+func syncWALDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // callFault invokes the fault hook, if any, at point p.
@@ -264,16 +284,24 @@ func (d *walDevice) sync() {
 	d.syncLocked()
 }
 
-// logInsert appends an insert record covering rows stored with contiguous ids
-// starting at firstID.
+// logInsert appends insert records covering rows stored with contiguous ids
+// starting at firstID.  Batches whose encoding would exceed the
+// walInsertRecordLimit payload budget split into multiple records (still one
+// lock hold, so records for the same table stay in id order) — recovery
+// rejects larger frames as corrupt, so an unchunked oversized record would
+// make the log unrecoverable.
 func (d *walDevice) logInsert(tableID uint32, txnID, firstID int64, rows []Row) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.callFault(FPWALAppend); err != nil {
 		panic(fmt.Sprintf("relstore: wal append: %v", err))
 	}
-	d.scratch = appendWALInsert(d.scratch[:0], d.nextLSN, tableID, txnID, firstID, rows)
-	d.appendLocked(d.scratch)
+	for start := 0; start < len(rows); {
+		var n int
+		d.scratch, n = appendWALInsertBounded(d.scratch[:0], d.nextLSN, tableID, txnID, firstID+int64(start), rows[start:])
+		d.appendLocked(d.scratch)
+		start += n
+	}
 }
 
 // logMarker appends a commit or rollback marker for txnID.
@@ -288,17 +316,33 @@ func (d *walDevice) logMarker(typ byte, txnID int64) {
 }
 
 // rotateForCheckpoint seals the current segment (flush, fsync, close) and
-// opens a fresh one, returning the last LSN the sealed history covers.  Every
-// record with LSN <= the returned boundary is durable in a rotated-away
-// segment; records appended from here on land in the new segment with higher
-// LSNs.
-func (d *walDevice) rotateForCheckpoint() int64 {
+// opens a fresh one, returning the last LSN the sealed history covers and the
+// byte count the seal supersedes.  Every record with LSN <= the returned
+// boundary is durable in a rotated-away segment; records appended from here
+// on land in the new segment with higher LSNs.  bytesSinceCkpt is NOT reset
+// here — the caller credits the covered bytes via noteCheckpointDurable only
+// once the checkpoint file is durably in place, so a failed checkpoint write
+// leaves the auto-checkpoint trigger armed instead of deferring it by a full
+// interval.
+func (d *walDevice) rotateForCheckpoint() (boundary, covered int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	boundary := d.nextLSN - 1
+	boundary = d.nextLSN - 1
+	covered = d.bytesSinceCkpt
 	d.rotateLocked()
-	d.bytesSinceCkpt = 0
-	return boundary
+	return boundary, covered
+}
+
+// noteCheckpointDurable records a durably completed checkpoint: the bytes its
+// rotation sealed stop counting toward the next auto-checkpoint threshold.
+func (d *walDevice) noteCheckpointDurable(covered int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkpoints++
+	d.bytesSinceCkpt -= covered
+	if d.bytesSinceCkpt < 0 {
+		d.bytesSinceCkpt = 0
+	}
 }
 
 // deleteSegmentsBelow removes every segment whose records all have LSN <=
@@ -315,18 +359,22 @@ func (d *walDevice) deleteSegmentsBelow(boundary int64) (int, error) {
 	removed := 0
 	for i, name := range segs {
 		first, _ := parseSegName(name)
-		if first == cur {
+		// Skip the segment that was active when cur was read AND anything
+		// newer: a concurrent append can rotate between the cur read and the
+		// directory listing, and the rotated-in segment (first > cur) is live.
+		// Only segments strictly below cur are known sealed and immutable.
+		if first >= cur {
 			continue
 		}
-		// A segment's records end where the next segment begins.
-		var last int64
-		if i+1 < len(segs) {
-			next, _ := parseSegName(segs[i+1])
-			last = next - 1
-		} else {
-			last = cur - 1
+		// A sealed segment's records end where its successor begins.  The
+		// successor is always in the listing — the segment named cur existed
+		// before the listing and sorts after every sealed one — but never
+		// delete without that bound in hand.
+		if i+1 >= len(segs) {
+			continue
 		}
-		if last <= boundary {
+		next, _ := parseSegName(segs[i+1])
+		if next-1 <= boundary {
 			if err := os.Remove(filepath.Join(d.dir, name)); err != nil {
 				return removed, err
 			}

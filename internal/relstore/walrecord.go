@@ -53,6 +53,12 @@ const (
 	maxWALRecordBytes = 64 << 20
 )
 
+// walInsertRecordLimit is the payload budget the append path chunks insert
+// records under, so nothing legitimately written is later rejected by
+// nextWALFrame's maxWALRecordBytes check.  A variable only so tests can
+// exercise the chunking without building multi-megabyte rows.
+var walInsertRecordLimit = maxWALRecordBytes
+
 // ErrWALCorrupt reports a WAL or checkpoint byte string that is not a
 // canonical record encoding.
 var ErrWALCorrupt = errors.New("relstore: corrupt WAL record")
@@ -97,6 +103,43 @@ func appendWALInsert(dst []byte, lsn int64, tableID uint32, txnID, firstID int64
 		binary.LittleEndian.PutUint32(dst[lenAt:lenAt+4], uint32(len(dst)-lenAt-4))
 	}
 	return dst
+}
+
+// appendWALInsertBounded encodes an insert record payload covering as many
+// leading rows as fit within walInsertRecordLimit, returning the extended
+// buffer and the number of rows encoded (always >= 1 when rows is non-empty).
+// The caller loops, re-invoking with the remainder under fresh LSNs, so an
+// arbitrarily large batch becomes several valid records instead of one frame
+// recovery would reject as corrupt.  A single row whose encoding alone
+// exceeds the limit cannot be represented in the log at all and panics at
+// append time rather than poisoning the log with an unreadable record.
+func appendWALInsertBounded(dst []byte, lsn int64, tableID uint32, txnID, firstID int64, rows []Row) ([]byte, int) {
+	base := len(dst)
+	dst = append(dst, walRecInsert)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(lsn))
+	dst = binary.LittleEndian.AppendUint32(dst, tableID)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(txnID))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(firstID))
+	countAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	n := 0
+	for _, row := range rows {
+		mark := len(dst)
+		dst = append(dst, 0, 0, 0, 0)
+		dst = appendWALRow(dst, row)
+		if len(dst)-base > walInsertRecordLimit {
+			if n == 0 {
+				panic(fmt.Sprintf("relstore: row encodes to %d bytes, exceeding the %d-byte WAL record limit",
+					len(dst)-mark-4, walInsertRecordLimit))
+			}
+			dst = dst[:mark]
+			break
+		}
+		binary.LittleEndian.PutUint32(dst[mark:mark+4], uint32(len(dst)-mark-4))
+		n++
+	}
+	binary.LittleEndian.PutUint32(dst[countAt:countAt+4], uint32(n))
+	return dst, n
 }
 
 // appendWALMarker encodes a commit or rollback marker payload.
