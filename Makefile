@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench smoke smoke-http smoke-crash
+.PHONY: all build vet test race bench smoke smoke-http smoke-crash smoke-shard
 
 all: build vet test
 
@@ -34,6 +34,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'GroupCommit' -benchtime=20x ./internal/relstore/
 	$(GO) test -run '^$$' -bench 'MixedIngestP99' -benchtime=1x ./internal/serve/
 	$(GO) test -run '^$$' -bench 'ServeHTTPQuery|MetricsScrape' -benchtime=100x ./internal/httpserve/
+	$(GO) test -run '^$$' -bench 'ScatterGather|SingleNode|WireQueryResult' -benchtime=50x ./internal/shard/
 
 smoke:
 	$(GO) run ./cmd/skyserve -smoke
@@ -53,3 +54,11 @@ smoke-http:
 smoke-crash:
 	$(GO) run ./cmd/skyload -crash -seed 7 -size 2
 	$(GO) run ./cmd/skyload -crash -seed 42 -size 2
+
+# Distributed shard smoke: a real 3-agent TCP fleet loaded through the
+# coordinator and verified byte-for-byte against a single-node oracle, one
+# agent killed and restored from the coordinator's replay log mid-run, the
+# /v1 front door and its sky_shard_* scrape validated, and the DES topology
+# sim run twice to prove determinism.
+smoke-shard:
+	$(GO) run ./cmd/skyshard -smoke

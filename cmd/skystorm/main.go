@@ -50,6 +50,7 @@ func main() {
 
 		rate     = flag.Float64("rate", 0, "paced arrival rate in qps across all clients (0 = closed loop, as fast as possible)")
 		scrapeIv = flag.Duration("scrape-interval", 500*time.Millisecond, "background /metrics validation interval (0 disables)")
+		shard    = flag.Bool("shard", false, "target a skyshard coordinator: every scrape must carry the sky_shard_* families and /v1/stats is read in the shard envelope")
 	)
 	flag.Parse()
 
@@ -87,9 +88,17 @@ func main() {
 						badScrapes.Add(1)
 						continue
 					}
-					if _, err := metrics.PromValid(string(body)); err != nil {
+					families, err := metrics.PromValid(string(body))
+					if err != nil {
 						badScrapes.Add(1)
 						fmt.Fprintln(os.Stderr, "skystorm: invalid scrape:", err)
+						continue
+					}
+					if *shard {
+						if missing := missingShardFamilies(families); len(missing) > 0 {
+							badScrapes.Add(1)
+							fmt.Fprintln(os.Stderr, "skystorm: scrape missing shard families:", missing)
+						}
 					}
 				}
 			}
@@ -159,7 +168,11 @@ func main() {
 	}
 
 	// The server-side view of the same window, from /v1/stats.
-	printServerSide(base)
+	if *shard {
+		printShardSide(base)
+	} else {
+		printServerSide(base)
+	}
 
 	if *scrapeIv > 0 {
 		fmt.Printf("scrapes: %d valid, %d invalid\n", scrapes.Load()-badScrapes.Load(), badScrapes.Load())
@@ -302,6 +315,46 @@ func printServerSide(base string) {
 	for _, cls := range rep.Classes {
 		fmt.Printf("  %-8s p50 %.3fms  p95 %.3fms  p99 %.3fms  (%d)\n",
 			cls.Class, ms(cls.Latency.P50), ms(cls.Latency.P95), ms(cls.Latency.P99), cls.Served)
+	}
+}
+
+// missingShardFamilies returns the coordinator metric families absent from a
+// scrape — against a skyshard front these must all be exported mid-run.
+func missingShardFamilies(families map[string]bool) []string {
+	var missing []string
+	for _, want := range []string{
+		"sky_shard_count", "sky_shard_queries_total", "sky_shard_fanout_total",
+		"sky_shard_requests_total", "sky_shard_gather_seconds",
+		"sky_shard_wire_bytes_total", "sky_shard_ready",
+	} {
+		if !families[want] {
+			missing = append(missing, want)
+		}
+	}
+	return missing
+}
+
+// printShardSide fetches the coordinator's /v1/stats envelope: scatter-gather
+// counters and each shard's self-reported state.
+func printShardSide(base string) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	body, err := fetch(client, base+httpserve.PathStats)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skystorm: stats fetch failed:", err)
+		return
+	}
+	var stats httpserve.ShardStatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		fmt.Fprintln(os.Stderr, "skystorm: shard stats decode failed:", err)
+		return
+	}
+	fmt.Printf("coordinator-side: %d shards, %d queries, %d errors, gather p50 %.3fms p99 %.3fms, wire %d B out / %d B in\n",
+		stats.Shards, stats.Queries, stats.QueryErrors,
+		float64(stats.GatherP50NS)/1e6, float64(stats.GatherP99NS)/1e6,
+		stats.BytesSent, stats.BytesReceived)
+	for _, st := range stats.ShardStats {
+		fmt.Printf("  shard %3d: ready=%v  %7d rows  %6d queries served\n",
+			st.ShardID, st.Ready, st.Rows, st.QueriesServed)
 	}
 }
 

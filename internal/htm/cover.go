@@ -24,6 +24,23 @@ func (r Range) DescendantRange(levels int) Range {
 	return Range{Lo: r.Lo << shift, Hi: ((r.Hi + 1) << shift) - 1}
 }
 
+// Intersect returns the overlap of two ranges at the same depth and whether
+// it is non-empty.  Shard partition maps use it to route a cone cover to the
+// trixel ranges each shard actually owns.
+func (r Range) Intersect(o Range) (Range, bool) {
+	lo, hi := r.Lo, r.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	if lo > hi {
+		return Range{}, false
+	}
+	return Range{Lo: lo, Hi: hi}, true
+}
+
 // coverEps pads the cone radius during pruning so trixels touching the cap
 // boundary within floating-point noise are never dropped.  Overcovering is
 // harmless — candidates are filtered by exact distance afterwards — but an

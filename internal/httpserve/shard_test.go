@@ -1,0 +1,337 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/des"
+	"skyloader/internal/exec"
+	"skyloader/internal/metrics"
+	"skyloader/internal/queries"
+	"skyloader/internal/shard"
+	"skyloader/internal/shard/wire"
+)
+
+// shardEnv is a loaded 3-shard fleet behind a ShardFront, driven through the
+// handler directly (no socket).
+type shardEnv struct {
+	agents []*shard.Agent
+	co     *shard.Coordinator
+	inline exec.InlineRunner
+	front  *ShardFront
+}
+
+func newShardEnv(t testing.TB, n int, cfg Config) *shardEnv {
+	t.Helper()
+	sched := exec.NewRealtime(exec.RealtimeConfig{Seed: 11})
+	inline := exec.InlineRunner(sched)
+	files := catalog.GenerateNight(catalog.NightSpec{TotalMB: 2, Files: 3, RowsPerMB: 120, Seed: 11})
+	agents := make([]*shard.Agent, n)
+	clients := make([]shard.Client, n)
+	for i := range agents {
+		a, err := shard.NewAgent(sched, shard.DefaultAgentConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+		clients[i] = shard.NewMemClient(sched, a, shard.NetModel{})
+	}
+	pm, err := shard.PartitionFromFiles(files, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := shard.New(sched, pm, clients, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+	inline.RunInline("shard-env-setup", func(w exec.Worker) {
+		if err := co.Hello(w); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := co.LoadFiles(w, files); err != nil {
+			t.Error(err)
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	front, err := NewShard(co, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &shardEnv{agents: agents, co: co, inline: inline, front: front}
+}
+
+func (e *shardEnv) get(t testing.TB, path string) (int, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	e.front.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.Bytes()
+}
+
+func TestShardQueryEndpoints(t *testing.T) {
+	env := newShardEnv(t, 3, Config{})
+	reqs := []queries.Query{
+		queries.Cone{RA: 30, Dec: -10, RadiusDeg: 2},
+		queries.ObjectLookup{ObjectID: 100_000_010},
+		queries.FrameObjects{FrameID: 3},
+		queries.MagHistogram{BinWidth: 0.5},
+	}
+	rows := 0
+	for _, q := range reqs {
+		u, err := QueryURL(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, body := env.get(t, u)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", u, status, body)
+		}
+		var resp QueryResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("%s: bad JSON %v in %s", u, err, body)
+		}
+		if resp.Outcome != "served" {
+			t.Fatalf("%s: outcome %q", u, resp.Outcome)
+		}
+		if resp.RequestID == 0 {
+			t.Fatalf("%s: no request id", u)
+		}
+		rows += len(resp.Objects) + len(resp.Bins)
+	}
+	if rows == 0 {
+		t.Fatal("no endpoint returned any rows — fleet is serving empty shards")
+	}
+
+	// Same bad-request discipline as the single-node front.
+	for _, path := range []string{
+		PathCone + "?ra=1&dec=2",
+		PathObject + "?id=abc",
+		PathMagHist + "?bin=-1",
+	} {
+		if status, _ := env.get(t, path); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, status)
+		}
+	}
+}
+
+// TestShardHealthzAggregation is the lagging-agent contract: /healthz must
+// stay 503 until EVERY shard reports Ready — two sealed shards and one still
+// inside its load window keep the whole fleet unready.
+func TestShardHealthzAggregation(t *testing.T) {
+	sched := exec.NewRealtime(exec.RealtimeConfig{Seed: 7})
+	inline := exec.InlineRunner(sched)
+	const n = 3
+	cfg := shard.DefaultAgentConfig()
+	cfg.Profile.DeferredIndexBuild = true
+	agents := make([]*shard.Agent, n)
+	clients := make([]shard.Client, n)
+	for i := range agents {
+		a, err := shard.NewAgent(sched, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+		clients[i] = shard.NewMemClient(sched, a, shard.NetModel{})
+	}
+	pm, err := shard.NewUniformPartition(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := shard.New(sched, pm, clients, shard.Config{Deferred: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	front, err := NewShard(co, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) int {
+		rec := httptest.NewRecorder()
+		front.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code
+	}
+	seal := func(i int) {
+		inline.RunInline("seal", func(w exec.Worker) {
+			res := agents[i].Handle(w, wire.LoadTask{TaskID: uint64(1000 + i), Seal: true})
+			if lr, ok := res.(wire.LoadResult); !ok || lr.Err != "" {
+				t.Errorf("seal shard %d: %+v", i, res)
+			}
+		})
+	}
+
+	// Hello under the deferred policy opens every shard's load window.
+	inline.RunInline("hello", func(w exec.Worker) {
+		if err := co.Hello(w); err != nil {
+			t.Error(err)
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	if status := get(PathHealthz); status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with all shards loading: %d, want 503", status)
+	}
+
+	// Seal shards 0 and 2; shard 1 lags mid-load.
+	seal(0)
+	seal(2)
+	if status := get(PathHealthz); status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with one lagging shard: %d, want 503", status)
+	}
+
+	// The laggard seals: the whole fleet flips ready.
+	seal(1)
+	if status := get(PathHealthz); status != http.StatusOK {
+		t.Fatalf("healthz after final seal: %d, want 200", status)
+	}
+
+	// Kill a client mid-flight: an unreachable shard must read as unready,
+	// not as healthy-by-omission.
+	clients[1].Close()
+	if status := get(PathHealthz); status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with unreachable shard: %d, want 503", status)
+	}
+}
+
+func TestShardMetricsScrape(t *testing.T) {
+	env := newShardEnv(t, 3, Config{})
+	for i := 0; i < 10; i++ {
+		u, _ := QueryURL(queries.ObjectLookup{ObjectID: int64(100_000_000 + i)})
+		env.get(t, u)
+	}
+	u, _ := QueryURL(queries.Cone{RA: 30, Dec: -10, RadiusDeg: 2})
+	env.get(t, u)
+
+	status, body := env.get(t, PathMetrics)
+	if status != http.StatusOK {
+		t.Fatalf("scrape status %d", status)
+	}
+	families, err := metrics.PromValid(string(body))
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"sky_shard_count", "sky_shard_queries_total", "sky_shard_query_errors_total",
+		"sky_shard_fanout_total", "sky_shard_requests_total", "sky_shard_load_tasks_total",
+		"sky_shard_gather_seconds", "sky_shard_wire_bytes_total",
+		"sky_shard_ready", "sky_shard_rows", "sky_shard_queries_served_total",
+		"sky_http_requests_total", "sky_http_request_seconds",
+		"sky_trace_published_total",
+	} {
+		if !families[want] {
+			t.Errorf("scrape missing family %s", want)
+		}
+	}
+	text := string(body)
+	if !strings.Contains(text, "sky_shard_count 3") {
+		t.Error("sky_shard_count != 3")
+	}
+	for s := 0; s < 3; s++ {
+		if !strings.Contains(text, fmt.Sprintf(`sky_shard_ready{shard="%d"} 1`, s)) {
+			t.Errorf("shard %d not exported ready", s)
+		}
+	}
+	if !strings.Contains(text, `sky_shard_fanout_total{class="lookup"}`) {
+		t.Error("no lookup fan-out series")
+	}
+	if !strings.Contains(text, `sky_shard_wire_bytes_total{direction="sent"}`) {
+		t.Error("no wire byte accounting")
+	}
+}
+
+func TestShardStatsEndpoint(t *testing.T) {
+	env := newShardEnv(t, 3, Config{})
+	u, _ := QueryURL(queries.Cone{RA: 30, Dec: -10, RadiusDeg: 2})
+	env.get(t, u)
+
+	status, body := env.get(t, PathStats)
+	if status != http.StatusOK {
+		t.Fatalf("stats status %d", status)
+	}
+	var resp ShardStatsResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if resp.Shards != 3 {
+		t.Fatalf("stats shards = %d", resp.Shards)
+	}
+	if resp.Queries == 0 {
+		t.Error("stats report zero queries after traffic")
+	}
+	if len(resp.ShardStats) != 3 {
+		t.Fatalf("shard stats entries = %d", len(resp.ShardStats))
+	}
+	var rows int64
+	for _, st := range resp.ShardStats {
+		rows += st.Rows
+	}
+	if rows == 0 {
+		t.Error("fleet reports zero resident rows after load")
+	}
+}
+
+func TestShardTraceSpans(t *testing.T) {
+	env := newShardEnv(t, 3, Config{TraceEvery: 1})
+	const n = 20
+	for i := 0; i < n; i++ {
+		u, _ := QueryURL(queries.Cone{RA: 30, Dec: -10, RadiusDeg: 2})
+		env.get(t, u)
+	}
+	traces := env.front.Tracer().Snapshot()
+	if len(traces) < n {
+		t.Fatalf("published %d traces, want >= %d", len(traces), n)
+	}
+	sawScatter := false
+	for _, tr := range traces {
+		if tr.Total() <= 0 {
+			t.Fatalf("trace %d: non-positive total", tr.ID)
+		}
+		d := dumpTrace(&tr)
+		if ns, ok := d.Stages["scatter"]; ok && ns > 0 {
+			sawScatter = true
+		}
+	}
+	if !sawScatter {
+		t.Fatal("no trace carried a cross-node scatter span")
+	}
+
+	status, body := env.get(t, PathTraces+"?n=5")
+	if status != http.StatusOK {
+		t.Fatalf("traces status %d", status)
+	}
+	var dump []TraceDump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("traces JSON: %v", err)
+	}
+	if len(dump) != 5 {
+		t.Fatalf("asked for 5 slowest, got %d", len(dump))
+	}
+}
+
+func TestShardDESSchedulerRejected(t *testing.T) {
+	sched := exec.NewDES(des.NewKernel(5))
+	a, err := shard.NewAgent(sched, shard.DefaultAgentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := shard.NewUniformPartition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := shard.New(sched, pm, []shard.Client{shard.NewMemClient(sched, a, shard.NetModel{})}, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShard(co, Config{}); err == nil {
+		t.Fatal("NewShard accepted a DES scheduler; sockets need wall-clock workers")
+	}
+}

@@ -1,0 +1,267 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/core"
+	"skyloader/internal/exec"
+	"skyloader/internal/htm"
+	"skyloader/internal/queries"
+	"skyloader/internal/relstore"
+	"skyloader/internal/serve"
+	"skyloader/internal/shard/wire"
+	"skyloader/internal/sqlbatch"
+	"skyloader/internal/tuning"
+)
+
+// AgentConfig controls one shard agent.
+type AgentConfig struct {
+	// Profile is the tuning profile of the agent's database.
+	Profile tuning.Profile
+	// Loader is the bulk-load configuration used for LoadTasks.
+	Loader core.Config
+	// Cost models the per-query CPU charged against the agent's worker
+	// (virtual time under DES; a no-op under plain realtime).
+	Cost serve.CostModel
+	// DBOptions are extra relstore options applied after the profile's.
+	DBOptions []relstore.Option
+}
+
+// DefaultAgentConfig mirrors the single-node loading setup: the paper's
+// production-loading profile and the standard batch parameters.
+func DefaultAgentConfig() AgentConfig {
+	return AgentConfig{
+		Profile: tuning.ProductionLoading(),
+		Loader:  core.Config{BatchSize: 40, ArraySize: 1000, ChargeStaging: true},
+		Cost:    serve.DefaultCostModel(),
+	}
+}
+
+// Agent owns one shard: a private relstore.DB holding the rows of one
+// contiguous trixel range, fed through the same sqlbatch/core bulk-load path
+// the single-node system uses.  The agent is the DB's single owner — every
+// access arrives as a wire message through Handle; nothing else touches the
+// database.
+type Agent struct {
+	sched exec.Scheduler
+	cfg   AgentConfig
+	db    *relstore.DB
+	srv   *sqlbatch.Server
+
+	// loadMu serializes load tasks (queries run concurrently against the
+	// DB's own synchronization).
+	loadMu   sync.Mutex
+	loadOpen bool
+
+	// identity, assigned by Hello.
+	idMu     sync.Mutex
+	shardID  uint32
+	rng      htm.Range
+	deferred bool
+	hello    bool
+
+	rowsLoaded    atomic.Int64
+	queriesServed atomic.Int64
+}
+
+// NewAgent opens a fresh shard database (schema + reference rows + profile)
+// on the scheduler.  The agent has no identity until it receives Hello.
+func NewAgent(sched exec.Scheduler, cfg AgentConfig) (*Agent, error) {
+	db, err := relstore.Open(catalog.NewSchema(), append(cfg.Profile.Options(), cfg.DBOptions...)...)
+	if err != nil {
+		return nil, fmt.Errorf("shard: open agent db: %w", err)
+	}
+	txn, err := db.Begin()
+	if err != nil {
+		return nil, err
+	}
+	if err := catalog.SeedReference(txn, 32); err != nil {
+		return nil, err
+	}
+	if _, err := txn.Commit(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Profile.Apply(db); err != nil {
+		return nil, err
+	}
+	return &Agent{
+		sched: sched,
+		cfg:   cfg,
+		db:    db,
+		srv:   sqlbatch.NewServerOn(sched, db, cfg.Profile.ServerConfig(), sqlbatch.DefaultCostModel()),
+	}, nil
+}
+
+// DB exposes the agent's database for verification in tests; production
+// code must never reach it (the agent is the single owner).
+func (a *Agent) DB() *relstore.DB { return a.db }
+
+// ShardID returns the identity assigned by Hello.
+func (a *Agent) ShardID() uint32 {
+	a.idMu.Lock()
+	defer a.idMu.Unlock()
+	return a.shardID
+}
+
+// Ready reports whether this shard can serve: identity assigned, no load
+// window open, and the DB's indexes ready (false while loading under the
+// deferred policy, replaying a WAL, or mid-Seal).
+func (a *Agent) Ready() bool {
+	a.idMu.Lock()
+	hello := a.hello
+	a.idMu.Unlock()
+	a.loadMu.Lock()
+	open := a.loadOpen
+	a.loadMu.Unlock()
+	return hello && !open && a.db.Ready()
+}
+
+// Handle processes one coordinator message on the given worker and returns
+// the reply.  It is the agent's entire surface: transports differ only in
+// how bytes reach it.
+func (a *Agent) Handle(w exec.Worker, m wire.Msg) wire.Msg {
+	switch t := m.(type) {
+	case wire.Hello:
+		return a.handleHello(t)
+	case wire.LoadTask:
+		return a.handleLoad(w, t)
+	case wire.Query:
+		return a.handleQuery(w, t)
+	case wire.Stats:
+		return a.statsReply()
+	default:
+		return wire.QueryResult{Err: fmt.Sprintf("shard: unexpected message type 0x%02x", m.Type())}
+	}
+}
+
+func (a *Agent) handleHello(h wire.Hello) wire.Msg {
+	a.idMu.Lock()
+	a.shardID = h.ShardID
+	a.rng = htm.Range{Lo: h.RangeLo, Hi: h.RangeHi}
+	a.deferred = h.Deferred
+	a.hello = true
+	a.idMu.Unlock()
+	if h.Deferred {
+		a.loadMu.Lock()
+		if !a.loadOpen {
+			if err := a.srv.BeginLoad(); err != nil && !errors.Is(err, relstore.ErrLoadPhaseActive) {
+				a.loadMu.Unlock()
+				return wire.Ready{ShardID: h.ShardID, Ready: false, Rows: a.db.TotalRows()}
+			}
+			a.loadOpen = true
+		}
+		a.loadMu.Unlock()
+	}
+	return wire.Ready{ShardID: h.ShardID, Ready: a.Ready(), Rows: a.db.TotalRows()}
+}
+
+func (a *Agent) handleLoad(w exec.Worker, t wire.LoadTask) wire.Msg {
+	a.loadMu.Lock()
+	defer a.loadMu.Unlock()
+	res := wire.LoadResult{TaskID: t.TaskID, ShardID: a.ShardID()}
+	if t.Seal {
+		if a.loadOpen {
+			if _, err := a.srv.Seal(w); err != nil {
+				res.Err = err.Error()
+				return res
+			}
+			a.loadOpen = false
+		}
+		return res
+	}
+	f, skipped, err := a.fileFromTask(t)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	before := a.db.TotalRows()
+	conn := a.srv.ConnectWorker(w)
+	loader, err := core.NewLoader(conn, a.cfg.Loader)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if err := loader.LoadFile(f); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	loaded := a.db.TotalRows() - before
+	a.rowsLoaded.Add(loaded)
+	res.RowsLoaded = loaded
+	res.RowsSkipped = int64(skipped)
+	return res
+}
+
+// fileFromTask parses the wire lines back into records and keeps only this
+// shard's slice of the file.  skipped counts records filtered to other
+// shards (not parse errors — those reproduce the single-node error path on
+// the home shard).
+func (a *Agent) fileFromTask(t wire.LoadTask) (*catalog.File, int, error) {
+	a.idMu.Lock()
+	rng := a.rng
+	hello := a.hello
+	a.idMu.Unlock()
+	if !hello {
+		return nil, 0, fmt.Errorf("shard: load task before Hello")
+	}
+	records := make([]catalog.Record, 0, len(t.Lines))
+	for i, line := range t.Lines {
+		rec, err := catalog.ParseLine(line, i+1)
+		if err != nil {
+			if errors.Is(err, catalog.ErrSkipLine) {
+				continue
+			}
+			// Unparseable lines cannot be routed; the home shard keeps the
+			// single-node behaviour of skipping them during load.
+			continue
+		}
+		records = append(records, rec)
+	}
+	filtered := filterRecords(records, rng, t.Home)
+	return &catalog.File{
+		Name:         t.Name,
+		Records:      filtered,
+		RABase:       t.RABase,
+		DecBase:      t.DecBase,
+		NominalBytes: t.NominalBytes,
+	}, len(records) - len(filtered), nil
+}
+
+func (a *Agent) handleQuery(w exec.Worker, q wire.Query) wire.Msg {
+	res := wire.QueryResult{QueryID: q.QueryID}
+	query, err := q.ToQuery()
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	var qres queries.Result
+	var runErr error
+	_, _, snapErr := a.db.SnapshotRead(query.Table(), func() error {
+		qres, runErr = query.Run(a.db)
+		return runErr
+	})
+	if snapErr != nil {
+		res.Err = snapErr.Error()
+		return res
+	}
+	a.queriesServed.Add(1)
+	w.Sleep(a.cfg.Cost.QueryCost(qres.Stats))
+	res.Stats = qres.Stats
+	res.Objects = qres.Objects
+	res.Bins = qres.Bins
+	return res
+}
+
+func (a *Agent) statsReply() wire.Msg {
+	return wire.Stats{
+		ShardID:       a.ShardID(),
+		Ready:         a.Ready(),
+		Rows:          a.db.TotalRows(),
+		RowsLoaded:    a.rowsLoaded.Load(),
+		QueriesServed: a.queriesServed.Load(),
+	}
+}

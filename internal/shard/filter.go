@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"skyloader/internal/catalog"
+	"skyloader/internal/htm"
+	"skyloader/internal/relstore"
+)
+
+// objField holds the OBJ-layout geometry needed to place a record on a
+// shard: the ra/dec field positions and the schema precision those fields
+// are rounded to before the transformer computes the htmid.  Rounding first
+// is load-bearing: an object a hair's breadth past a shard boundary can be
+// rounded across it, and the shard decision must match the htmid the
+// transformer will store.
+type objField struct {
+	raIdx, decIdx   int
+	raPrec, decPrec int
+	idIdx           int // object_id position in OBJ records
+	childIdx        int // object_id position in child records (FNG/OAP/SHP/FLG)
+}
+
+var objFieldOnce sync.Once
+var objFields objField
+
+func objLayout() objField {
+	objFieldOnce.Do(func() {
+		layout, _ := catalog.LayoutFor(catalog.TagOBJ)
+		f := objField{raIdx: -1, decIdx: -1, idIdx: -1, childIdx: 1}
+		for i, name := range layout.Fields {
+			switch name {
+			case "ra":
+				f.raIdx = i
+			case "dec":
+				f.decIdx = i
+			case "object_id":
+				f.idIdx = i
+			}
+		}
+		ts := catalog.NewSchema().Table(catalog.TObjects)
+		f.raPrec = ts.Columns[ts.ColumnIndex("ra")].Precision
+		f.decPrec = ts.Columns[ts.ColumnIndex("dec")].Precision
+		objFields = f
+	})
+	return objFields
+}
+
+// objectTrixel resolves an OBJ record to its depth-DefaultDepth trixel id,
+// replicating the transformer's pipeline exactly: trim, parse, round to the
+// schema precision, bounds-check, then htm.Lookup.  ok is false when the
+// position cannot be resolved (malformed or out-of-sphere) — such rows are
+// routed to the file's home shard, where loading them reproduces the
+// single-node error path (skipped row or check-constraint rejection) exactly
+// once across the fleet.
+func objectTrixel(rec catalog.Record) (int64, bool) {
+	f := objLayout()
+	ra, ok1 := parseRounded(rec.Fields[f.raIdx], f.raPrec)
+	dec, ok2 := parseRounded(rec.Fields[f.decIdx], f.decPrec)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	if !(ra >= 0 && ra <= 360 && dec >= -90 && dec <= 90) {
+		return 0, false
+	}
+	id, err := htm.Lookup(ra, dec, htm.DefaultDepth)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+func parseRounded(raw string, prec int) (float64, bool) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, false
+	}
+	if prec > 0 {
+		v = relstore.RoundTo(v, prec)
+	}
+	return v, true
+}
+
+// childTag reports whether records with this tag hang off an object row and
+// must follow it to its shard.
+func childTag(tag catalog.Tag) bool {
+	switch tag {
+	case catalog.TagFNG, catalog.TagOAP, catalog.TagSHP, catalog.TagFLG:
+		return true
+	}
+	return false
+}
+
+// filterRecords returns the subset of a file's records one shard should
+// load: OBJ rows whose trixel falls in rng (plus unresolvable rows on the
+// home shard), their children, and every non-object record (frames,
+// observations, calibration — duplicated to each overlapping shard so
+// foreign keys resolve locally).  Original record order is preserved.
+func filterRecords(records []catalog.Record, rng htm.Range, home bool) []catalog.Record {
+	f := objLayout()
+	kept := make(map[string]bool)
+	for _, rec := range records {
+		if rec.Tag != catalog.TagOBJ {
+			continue
+		}
+		keep := home
+		if id, ok := objectTrixel(rec); ok {
+			keep = id >= rng.Lo && id <= rng.Hi
+		}
+		if keep {
+			kept[strings.TrimSpace(rec.Fields[f.idIdx])] = true
+		}
+	}
+	out := make([]catalog.Record, 0, len(records))
+	for _, rec := range records {
+		switch {
+		case rec.Tag == catalog.TagOBJ:
+			if !kept[strings.TrimSpace(rec.Fields[f.idIdx])] {
+				continue
+			}
+		case childTag(rec.Tag):
+			if len(rec.Fields) <= f.childIdx || !kept[strings.TrimSpace(rec.Fields[f.childIdx])] {
+				continue
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// fileOwners returns the shard indices that must receive a file: every
+// shard owning at least one of its object trixels, plus the home shard
+// (owner of the footprint centre), which also absorbs rows whose position
+// cannot be resolved.
+func fileOwners(pm *PartitionMap, f *catalog.File) (targets []int, home int) {
+	home = pm.Owner(fileCenterTrixel(f))
+	seen := make(map[int]bool)
+	seen[home] = true
+	for _, rec := range f.Records {
+		if rec.Tag != catalog.TagOBJ {
+			continue
+		}
+		if id, ok := objectTrixel(rec); ok {
+			seen[pm.Owner(id)] = true
+		}
+	}
+	targets = make([]int, 0, len(seen))
+	for s := range seen {
+		targets = append(targets, s)
+	}
+	sort.Ints(targets)
+	return targets, home
+}

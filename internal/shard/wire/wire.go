@@ -1,0 +1,581 @@
+// Package wire is the framed, typed message protocol between the shard
+// coordinator and its agents.
+//
+// Framing follows the WAL-record discipline from internal/relstore: every
+// message travels as
+//
+//	[u32 LE payload length][u32 LE CRC32-IEEE of payload][payload]
+//
+// and the payload starts with a one-byte message type followed by
+// fixed-width little-endian fields and length-prefixed strings.  The decoder
+// is total: arbitrary bytes produce an error, never a panic, and a frame
+// whose bytes were flipped in transit fails the CRC before any field is
+// interpreted.  ErrShort (incomplete frame — wait for more bytes) is
+// distinguished from ErrCorrupt (framing or payload damage) so stream
+// readers can reassemble partial reads without masking real corruption.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"skyloader/internal/queries"
+)
+
+// FrameHeader is the fixed byte size of the length+CRC frame prefix.
+const FrameHeader = 8
+
+// MaxMessageBytes bounds a single framed payload, mirroring the WAL's
+// record cap.  A length prefix beyond it is treated as corruption rather
+// than an allocation request.
+const MaxMessageBytes = 64 << 20
+
+// Message type bytes (first payload byte).
+const (
+	TypeHello      byte = 0x01
+	TypeReady      byte = 0x02
+	TypeLoadTask   byte = 0x03
+	TypeLoadResult byte = 0x04
+	TypeQuery      byte = 0x05
+	TypeQueryResult byte = 0x06
+	TypeStats      byte = 0x07
+)
+
+// Query kind bytes inside a Query message.
+const (
+	KindCone    byte = 1
+	KindLookup  byte = 2
+	KindFrame   byte = 3
+	KindMagHist byte = 4
+)
+
+var (
+	// ErrShort reports an incomplete frame: the buffer ends before the
+	// frame does.  Stream readers should read more bytes and retry.
+	ErrShort = errors.New("wire: short frame")
+	// ErrCorrupt reports a damaged frame or payload: bad CRC, unknown
+	// message type, truncated fields, or trailing garbage.
+	ErrCorrupt = errors.New("wire: corrupt frame")
+)
+
+// Msg is one typed protocol message.
+type Msg interface {
+	// Type returns the message's type byte.
+	Type() byte
+	appendPayload(dst []byte) []byte
+}
+
+// Hello assigns an agent its identity: shard index, fleet size, and the
+// contiguous depth-20 trixel range it owns.  Sent by the coordinator as the
+// first message on a connection; the agent replies with Ready.
+type Hello struct {
+	ShardID  uint32
+	Shards   uint32
+	RangeLo  int64
+	RangeHi  int64
+	// Deferred tells the agent the coordinator will drive an explicit
+	// BeginLoad/Seal window around the load tasks (deferred index build).
+	Deferred bool
+}
+
+// Ready is the agent's readiness report: its shard id, whether its DB can
+// serve indexed queries (false while loading, replaying a WAL, or
+// mid-Seal), and its current row count.
+type Ready struct {
+	ShardID uint32
+	Ready   bool
+	Rows    int64
+}
+
+// LoadTask carries one catalog file to an agent, or — when Seal is set —
+// asks the agent to close its load window and rebuild deferred indexes.
+// The full file travels as raw catalog lines; the agent parses and keeps
+// only the rows in its trixel range (plus, on the file's home shard, rows
+// whose position cannot be resolved, so error-path rows land exactly once).
+type LoadTask struct {
+	TaskID       uint64
+	Seal         bool
+	Home         bool
+	Name         string
+	RABase       float64
+	DecBase      float64
+	NominalBytes int64
+	Lines        []string
+}
+
+// LoadResult acknowledges one LoadTask.
+type LoadResult struct {
+	TaskID      uint64
+	ShardID     uint32
+	RowsLoaded  int64
+	RowsSkipped int64
+	Err         string
+}
+
+// Query is one science query scattered to a shard.  Kind selects which
+// parameter fields are meaningful.
+type Query struct {
+	QueryID uint64
+	Kind    byte
+	RA      float64 // cone
+	Dec     float64 // cone
+	Radius  float64 // cone
+	ID      int64   // lookup: object id; frame: frame id
+	Bin     float64 // maghist bin width
+}
+
+// QueryResult is a shard's answer to a Query.
+type QueryResult struct {
+	QueryID uint64
+	Err     string
+	Stats   queries.Stats
+	Objects []queries.Object
+	Bins    []queries.MagnitudeBin
+}
+
+// Stats is both the coordinator's stats probe (fields zero) and the agent's
+// reply.  Ready mirrors the Ready message so one probe answers both "are
+// you alive" and "can you serve".
+type Stats struct {
+	ShardID       uint32
+	Ready         bool
+	Rows          int64
+	RowsLoaded    int64
+	QueriesServed int64
+}
+
+// Type implements Msg.
+func (Hello) Type() byte       { return TypeHello }
+func (Ready) Type() byte       { return TypeReady }
+func (LoadTask) Type() byte    { return TypeLoadTask }
+func (LoadResult) Type() byte  { return TypeLoadResult }
+func (Query) Type() byte       { return TypeQuery }
+func (QueryResult) Type() byte { return TypeQueryResult }
+func (Stats) Type() byte       { return TypeStats }
+
+// ---- encoding helpers -------------------------------------------------
+
+func appendU8(dst []byte, v byte) []byte  { return append(dst, v) }
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+func appendI64(dst []byte, v int64) []byte  { return appendU64(dst, uint64(v)) }
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+func appendString(dst []byte, s string) []byte {
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// reader is a bounds-checked cursor over one payload.  The first failed
+// read latches err; subsequent reads return zero values, so decode methods
+// can read every field unconditionally and check err once.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.b)-r.off < n {
+		r.err = fmt.Errorf("%w: truncated payload at offset %d", ErrCorrupt, r.off)
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) boolean() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: bad bool byte", ErrCorrupt)
+		}
+		return false
+	}
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || !r.need(n) {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// count reads a u32 element count and validates it against the bytes left,
+// given a minimum encoded size per element, so a corrupt count can never
+// drive a huge allocation.
+func (r *reader) count(minElem int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*minElem > len(r.b)-r.off {
+		r.err = fmt.Errorf("%w: element count %d exceeds payload", ErrCorrupt, n)
+		return 0
+	}
+	return n
+}
+
+// ---- per-message payloads ---------------------------------------------
+
+func (m Hello) appendPayload(dst []byte) []byte {
+	dst = appendU8(dst, TypeHello)
+	dst = appendU32(dst, m.ShardID)
+	dst = appendU32(dst, m.Shards)
+	dst = appendI64(dst, m.RangeLo)
+	dst = appendI64(dst, m.RangeHi)
+	return appendBool(dst, m.Deferred)
+}
+
+func (m Ready) appendPayload(dst []byte) []byte {
+	dst = appendU8(dst, TypeReady)
+	dst = appendU32(dst, m.ShardID)
+	dst = appendBool(dst, m.Ready)
+	return appendI64(dst, m.Rows)
+}
+
+func (m LoadTask) appendPayload(dst []byte) []byte {
+	dst = appendU8(dst, TypeLoadTask)
+	dst = appendU64(dst, m.TaskID)
+	dst = appendBool(dst, m.Seal)
+	dst = appendBool(dst, m.Home)
+	dst = appendString(dst, m.Name)
+	dst = appendF64(dst, m.RABase)
+	dst = appendF64(dst, m.DecBase)
+	dst = appendI64(dst, m.NominalBytes)
+	dst = appendU32(dst, uint32(len(m.Lines)))
+	for _, ln := range m.Lines {
+		dst = appendString(dst, ln)
+	}
+	return dst
+}
+
+func (m LoadResult) appendPayload(dst []byte) []byte {
+	dst = appendU8(dst, TypeLoadResult)
+	dst = appendU64(dst, m.TaskID)
+	dst = appendU32(dst, m.ShardID)
+	dst = appendI64(dst, m.RowsLoaded)
+	dst = appendI64(dst, m.RowsSkipped)
+	return appendString(dst, m.Err)
+}
+
+func (m Query) appendPayload(dst []byte) []byte {
+	dst = appendU8(dst, TypeQuery)
+	dst = appendU64(dst, m.QueryID)
+	dst = appendU8(dst, m.Kind)
+	dst = appendF64(dst, m.RA)
+	dst = appendF64(dst, m.Dec)
+	dst = appendF64(dst, m.Radius)
+	dst = appendI64(dst, m.ID)
+	return appendF64(dst, m.Bin)
+}
+
+const (
+	objectWireBytes = 48 // 2 ids + 2 coords + htmid + mag, 8 bytes each
+	binWireBytes    = 24 // low, high, count
+)
+
+func (m QueryResult) appendPayload(dst []byte) []byte {
+	dst = appendU8(dst, TypeQueryResult)
+	dst = appendU64(dst, m.QueryID)
+	dst = appendString(dst, m.Err)
+	dst = appendI64(dst, int64(m.Stats.RowsExamined))
+	dst = appendI64(dst, int64(m.Stats.RowsReturned))
+	dst = appendBool(dst, m.Stats.UsedIndex)
+	dst = appendI64(dst, int64(m.Stats.TrixelsScanned))
+	dst = appendU32(dst, uint32(len(m.Objects)))
+	for _, o := range m.Objects {
+		dst = appendI64(dst, o.ObjectID)
+		dst = appendI64(dst, o.FrameID)
+		dst = appendF64(dst, o.RA)
+		dst = appendF64(dst, o.Dec)
+		dst = appendI64(dst, o.HTMID)
+		dst = appendF64(dst, o.Mag)
+	}
+	dst = appendU32(dst, uint32(len(m.Bins)))
+	for _, b := range m.Bins {
+		dst = appendF64(dst, b.Low)
+		dst = appendF64(dst, b.High)
+		dst = appendI64(dst, b.Count)
+	}
+	return dst
+}
+
+func (m Stats) appendPayload(dst []byte) []byte {
+	dst = appendU8(dst, TypeStats)
+	dst = appendU32(dst, m.ShardID)
+	dst = appendBool(dst, m.Ready)
+	dst = appendI64(dst, m.Rows)
+	dst = appendI64(dst, m.RowsLoaded)
+	return appendI64(dst, m.QueriesServed)
+}
+
+// ---- framing ----------------------------------------------------------
+
+// Append appends the framed encoding of m to dst and returns the extended
+// slice.
+func Append(dst []byte, m Msg) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	dst = m.appendPayload(dst)
+	payload := dst[start+FrameHeader:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// Decode decodes one framed message from the head of buf.  It returns the
+// message and the number of bytes consumed.  ErrShort means buf ends before
+// the frame does (read more and retry); ErrCorrupt means the frame or its
+// payload is damaged.
+func Decode(buf []byte) (Msg, int, error) {
+	if len(buf) < FrameHeader {
+		return nil, 0, ErrShort
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	if n == 0 || n > MaxMessageBytes {
+		return nil, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, n)
+	}
+	if len(buf) < FrameHeader+int(n) {
+		return nil, 0, ErrShort
+	}
+	want := binary.LittleEndian.Uint32(buf[4:])
+	payload := buf[FrameHeader : FrameHeader+int(n)]
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, 0, fmt.Errorf("%w: CRC mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	m, err := DecodePayload(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, FrameHeader + int(n), nil
+}
+
+// DecodePayload decodes one CRC-verified payload (type byte + fields).
+// Trailing bytes after the last field are corruption: the encoding is
+// canonical, so a valid payload is consumed exactly.
+func DecodePayload(payload []byte) (Msg, error) {
+	r := &reader{b: payload}
+	typ := r.u8()
+	var m Msg
+	switch typ {
+	case TypeHello:
+		m = Hello{
+			ShardID:  r.u32(),
+			Shards:   r.u32(),
+			RangeLo:  r.i64(),
+			RangeHi:  r.i64(),
+			Deferred: r.boolean(),
+		}
+	case TypeReady:
+		m = Ready{ShardID: r.u32(), Ready: r.boolean(), Rows: r.i64()}
+	case TypeLoadTask:
+		t := LoadTask{
+			TaskID:       r.u64(),
+			Seal:         r.boolean(),
+			Home:         r.boolean(),
+			Name:         r.str(),
+			RABase:       r.f64(),
+			DecBase:      r.f64(),
+			NominalBytes: r.i64(),
+		}
+		n := r.count(4) // each line carries at least its length prefix
+		if r.err == nil && n > 0 {
+			t.Lines = make([]string, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				t.Lines = append(t.Lines, r.str())
+			}
+		}
+		m = t
+	case TypeLoadResult:
+		m = LoadResult{
+			TaskID:      r.u64(),
+			ShardID:     r.u32(),
+			RowsLoaded:  r.i64(),
+			RowsSkipped: r.i64(),
+			Err:         r.str(),
+		}
+	case TypeQuery:
+		q := Query{
+			QueryID: r.u64(),
+			Kind:    r.u8(),
+			RA:      r.f64(),
+			Dec:     r.f64(),
+			Radius:  r.f64(),
+			ID:      r.i64(),
+			Bin:     r.f64(),
+		}
+		if r.err == nil && (q.Kind < KindCone || q.Kind > KindMagHist) {
+			return nil, fmt.Errorf("%w: unknown query kind %d", ErrCorrupt, q.Kind)
+		}
+		m = q
+	case TypeQueryResult:
+		res := QueryResult{QueryID: r.u64(), Err: r.str()}
+		res.Stats.RowsExamined = int(r.i64())
+		res.Stats.RowsReturned = int(r.i64())
+		res.Stats.UsedIndex = r.boolean()
+		res.Stats.TrixelsScanned = int(r.i64())
+		n := r.count(objectWireBytes)
+		if r.err == nil && n > 0 {
+			res.Objects = make([]queries.Object, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				res.Objects = append(res.Objects, queries.Object{
+					ObjectID: r.i64(),
+					FrameID:  r.i64(),
+					RA:       r.f64(),
+					Dec:      r.f64(),
+					HTMID:    r.i64(),
+					Mag:      r.f64(),
+				})
+			}
+		}
+		n = r.count(binWireBytes)
+		if r.err == nil && n > 0 {
+			res.Bins = make([]queries.MagnitudeBin, 0, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				res.Bins = append(res.Bins, queries.MagnitudeBin{
+					Low:   r.f64(),
+					High:  r.f64(),
+					Count: r.i64(),
+				})
+			}
+		}
+		m = res
+	case TypeStats:
+		m = Stats{
+			ShardID:       r.u32(),
+			Ready:         r.boolean(),
+			Rows:          r.i64(),
+			RowsLoaded:    r.i64(),
+			QueriesServed: r.i64(),
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown message type 0x%02x", ErrCorrupt, typ)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(payload)-r.off)
+	}
+	return m, nil
+}
+
+// WriteMsg frames and writes one message to w, returning the bytes written.
+func WriteMsg(w io.Writer, m Msg) (int, error) {
+	buf := Append(nil, m)
+	n, err := w.Write(buf)
+	return n, err
+}
+
+// ReadMsg reads one framed message from r, returning the bytes consumed.
+// An EOF cleanly between frames surfaces as io.EOF; mid-frame it becomes
+// io.ErrUnexpectedEOF.
+func ReadMsg(r io.Reader) (Msg, int, error) {
+	var hdr [FrameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxMessageBytes {
+		return nil, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, 0, err
+	}
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, 0, fmt.Errorf("%w: CRC mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	m, err := DecodePayload(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, FrameHeader + int(n), nil
+}
+
+// FromQuery converts a queries.Query into its wire form.
+func FromQuery(id uint64, q queries.Query) (Query, error) {
+	switch t := q.(type) {
+	case queries.Cone:
+		return Query{QueryID: id, Kind: KindCone, RA: t.RA, Dec: t.Dec, Radius: t.RadiusDeg}, nil
+	case queries.ObjectLookup:
+		return Query{QueryID: id, Kind: KindLookup, ID: t.ObjectID}, nil
+	case queries.FrameObjects:
+		return Query{QueryID: id, Kind: KindFrame, ID: t.FrameID}, nil
+	case queries.MagHistogram:
+		return Query{QueryID: id, Kind: KindMagHist, Bin: t.BinWidth}, nil
+	default:
+		return Query{}, fmt.Errorf("wire: unsupported query type %T", q)
+	}
+}
+
+// ToQuery converts a wire Query back into the executable queries.Query.
+func (m Query) ToQuery() (queries.Query, error) {
+	switch m.Kind {
+	case KindCone:
+		return queries.Cone{RA: m.RA, Dec: m.Dec, RadiusDeg: m.Radius}, nil
+	case KindLookup:
+		return queries.ObjectLookup{ObjectID: m.ID}, nil
+	case KindFrame:
+		return queries.FrameObjects{FrameID: m.ID}, nil
+	case KindMagHist:
+		return queries.MagHistogram{BinWidth: m.Bin}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown query kind %d", m.Kind)
+	}
+}

@@ -45,8 +45,14 @@ const (
 	StageExecute
 	// StageEncode is response encoding and the socket write.
 	StageEncode
+	// StageScatter is the cross-node fan-out of a sharded query: from
+	// dispatch until the last shard's partial result arrives.
+	StageScatter
+	// StageGather is the coordinator-side merge of per-shard partial
+	// results into the final answer.
+	StageGather
 	// NumStages is the number of stages (array size, not a stage).
-	NumStages = 4
+	NumStages = 6
 )
 
 // String names the stage for dumps and reports.
@@ -60,13 +66,17 @@ func (s Stage) String() string {
 		return "execute"
 	case StageEncode:
 		return "encode"
+	case StageScatter:
+		return "scatter"
+	case StageGather:
+		return "gather"
 	}
 	return "unknown"
 }
 
 // StageNames lists the stage labels in order, for table headers.
 func StageNames() [NumStages]string {
-	return [NumStages]string{"admission", "cache", "execute", "encode"}
+	return [NumStages]string{"admission", "cache", "execute", "encode", "scatter", "gather"}
 }
 
 // Req is one request's in-flight trace.  The transport allocates it on the
